@@ -1,0 +1,309 @@
+// Benchmarks regenerating the paper's evaluation (one per figure, Figs.
+// 10–13) plus ablations over the framework's design choices. Workloads are
+// miniaturized so `go test -bench=.` completes quickly; use cmd/progxe-bench
+// (optionally with PROGXE_BENCH_SCALE) for full-size series.
+//
+// Progress-figure benchmarks additionally report first-ms — the latency of
+// the first progressively emitted result — which is the quantity the paper's
+// progressiveness plots are about.
+package progxe_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"progxe"
+	"progxe/internal/bench"
+	"progxe/internal/core"
+	"progxe/internal/datagen"
+	"progxe/internal/join"
+	"progxe/internal/mapping"
+	"progxe/internal/sig"
+	"progxe/internal/skyline"
+	"progxe/internal/smj"
+)
+
+// benchProgress benchmarks every engine of a progress figure on a
+// miniaturized workload (one full engine run per iteration).
+func benchProgress(b *testing.B, figID string, n int) {
+	f, err := bench.FigureByID(figID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := f.Workload
+	wl.N = n
+	p, err := wl.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range f.Engines {
+		b.Run(spec.Name, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				e := spec.New()
+				start := time.Now()
+				got := false
+				_, err := e.Run(p, smj.SinkFunc(func(smj.Result) {
+					if !got {
+						got = true
+						first = time.Since(start)
+					}
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(first.Microseconds())/1000, "first-ms")
+		})
+	}
+}
+
+// benchTotalTime benchmarks every engine × σ cell of a total-time figure.
+func benchTotalTime(b *testing.B, figID string, n int) {
+	f, err := bench.FigureByID(figID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sigma := range f.Sweep {
+		wl := f.Workload
+		wl.N = n
+		wl.Sigma = sigma
+		p, err := wl.Problem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range f.Engines {
+			b.Run(fmt.Sprintf("%s/sigma=%g", spec.Name, sigma), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := spec.New().Run(p, discard{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Emit(smj.Result) {}
+
+// Figure 10 a–c: progressiveness of the four ProgXe variants (σ=0.001).
+func BenchmarkFig10a(b *testing.B) { benchProgress(b, "10a", 1200) }
+func BenchmarkFig10b(b *testing.B) { benchProgress(b, "10b", 1200) }
+func BenchmarkFig10c(b *testing.B) { benchProgress(b, "10c", 1200) }
+
+// Figure 10 d–f: total execution time of the variants vs join selectivity.
+func BenchmarkFig10d(b *testing.B) { benchTotalTime(b, "10d", 500) }
+func BenchmarkFig10e(b *testing.B) { benchTotalTime(b, "10e", 500) }
+func BenchmarkFig10f(b *testing.B) { benchTotalTime(b, "10f", 500) }
+
+// Figure 11 a–c: ProgXe vs SSMJ progressiveness at σ=0.01.
+func BenchmarkFig11a(b *testing.B) { benchProgress(b, "11a", 1000) }
+func BenchmarkFig11b(b *testing.B) { benchProgress(b, "11b", 1000) }
+func BenchmarkFig11c(b *testing.B) { benchProgress(b, "11c", 1000) }
+
+// Figure 11 d–f: the same at σ=0.1.
+func BenchmarkFig11d(b *testing.B) { benchProgress(b, "11d", 600) }
+func BenchmarkFig11e(b *testing.B) { benchProgress(b, "11e", 600) }
+func BenchmarkFig11f(b *testing.B) { benchProgress(b, "11f", 600) }
+
+// Figure 12 a–b: d=5 at σ=0.1; anti-correlated is where SSMJ collapses.
+func BenchmarkFig12a(b *testing.B) { benchProgress(b, "12a", 500) }
+func BenchmarkFig12b(b *testing.B) { benchProgress(b, "12b", 500) }
+
+// Figure 13 a–c: total execution time vs SSMJ across σ.
+func BenchmarkFig13a(b *testing.B) { benchTotalTime(b, "13a", 500) }
+func BenchmarkFig13b(b *testing.B) { benchTotalTime(b, "13b", 500) }
+func BenchmarkFig13c(b *testing.B) { benchTotalTime(b, "13c", 500) }
+
+// ----- Ablations (design choices called out in DESIGN.md §6) -----
+
+func ablationProblem(b *testing.B, n, d int) *smj.Problem {
+	b.Helper()
+	wl := bench.Workload{N: n, Dims: d, Dist: datagen.AntiCorrelated, Sigma: 0.01, Seed: 21}
+	p, err := wl.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkAblationGridK varies the output-grid resolution k (the paper's
+// partition size δ): too coarse loses pruning, too fine pays bookkeeping.
+func BenchmarkAblationGridK(b *testing.B) {
+	p := ablationProblem(b, 1200, 4)
+	for _, k := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := progxe.New(progxe.Options{OutputCells: k})
+				if _, err := e.Run(p, discard{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInputG varies the input partitioning resolution g, which
+// controls the region count n the O(n²) look-ahead machinery operates on.
+func BenchmarkAblationInputG(b *testing.B) {
+	p := ablationProblem(b, 1200, 4)
+	for _, g := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := progxe.New(progxe.Options{InputCells: g})
+				if _, err := e.Run(p, discard{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioning compares the uniform-grid input partitioner
+// against the kd median-split alternative (§III notes other space
+// partitionings apply) — kd keeps partitions balanced under skew.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	for _, dist := range []datagen.Distribution{datagen.Correlated, datagen.AntiCorrelated} {
+		wl := bench.Workload{N: 1200, Dims: 4, Dist: dist, Sigma: 0.01, Seed: 21}
+		p, err := wl.Problem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, part := range []core.Partitioning{core.PartitionGrid, core.PartitionKD} {
+			b.Run(fmt.Sprintf("%s/%s", dist, part), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e := progxe.New(progxe.Options{Partitioning: part})
+					if _, err := e.Run(p, discard{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationOrdering isolates the ordering policy: the full
+// benefit/cost ProgOrder vs cardinality-only ranking vs arrival vs random.
+func BenchmarkAblationOrdering(b *testing.B) {
+	p := ablationProblem(b, 1200, 4)
+	policies := []struct {
+		name string
+		ord  progxe.Ordering
+	}{
+		{"ProgOrder", progxe.OrderProgressive},
+		{"CardinalityOnly", progxe.OrderCardinality},
+		{"Arrival", progxe.OrderArrival},
+		{"Random", progxe.OrderRandom},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				e := progxe.New(progxe.Options{Ordering: pol.ord, Seed: 5})
+				start := time.Now()
+				got := false
+				if _, err := e.Run(p, smj.SinkFunc(func(smj.Result) {
+					if !got {
+						got = true
+						first = time.Since(start)
+					}
+				})); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(first.Microseconds())/1000, "first-ms")
+		})
+	}
+}
+
+// BenchmarkAblationSkyline compares the single-set skyline substrates used
+// by the blocking baselines.
+func BenchmarkAblationSkyline(b *testing.B) {
+	rel := datagen.MustGenerate(datagen.Spec{N: 4000, Dims: 4, Distribution: datagen.AntiCorrelated, Selectivity: 1, Seed: 8})
+	pts := make([][]float64, rel.Len())
+	for i, t := range rel.Tuples {
+		pts[i] = t.Vals
+	}
+	for _, alg := range []skyline.Algorithm{skyline.BNL, skyline.SFS, skyline.DC} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				skyline.Compute(alg, pts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSignature compares the exact signature against the Bloom
+// filter on the partition-pair join test of §III-A.
+func BenchmarkAblationSignature(b *testing.B) {
+	keysA := make([]int64, 2000)
+	keysB := make([]int64, 2000)
+	for i := range keysA {
+		keysA[i] = int64(i % 997)
+		keysB[i] = int64((i % 997) + 900) // partial overlap
+	}
+	b.Run("Exact", func(b *testing.B) {
+		ea, eb := sig.NewExact(), sig.NewExact()
+		for _, k := range keysA {
+			ea.Add(k)
+		}
+		for _, k := range keysB {
+			eb.Add(k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ea.MayJoin(eb)
+		}
+	})
+	b.Run("Bloom", func(b *testing.B) {
+		ba, bb := sig.NewBloom(4096, 4), sig.NewBloom(4096, 4)
+		for _, k := range keysA {
+			ba.Add(k)
+		}
+		for _, k := range keysB {
+			bb.Add(k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ba.MayIntersect(bb)
+		}
+	})
+}
+
+// BenchmarkJoinSubstrate compares the two equi-join implementations.
+func BenchmarkJoinSubstrate(b *testing.B) {
+	r, t, err := datagen.GeneratePair(datagen.Spec{N: 5000, Dims: 2, Selectivity: 0.001, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			join.Hash(r.Tuples, t.Tuples, func(int, int) bool { return true })
+		}
+	})
+	b.Run("Merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			join.Merge(r.Tuples, t.Tuples, func(int, int) bool { return true })
+		}
+	})
+}
+
+// BenchmarkMapping measures mapping-function evaluation and interval
+// propagation (the per-tuple and per-region costs of the Map operator).
+func BenchmarkMapping(b *testing.B) {
+	maps := mapping.MustSet(
+		mapping.Func{Name: "x", Expr: mapping.Sum(mapping.A(mapping.Left, 0, ""), mapping.A(mapping.Right, 0, ""))},
+		mapping.Func{Name: "y", Expr: mapping.Sum(mapping.Scale{Factor: 2, Of: mapping.A(mapping.Left, 1, "")}, mapping.A(mapping.Right, 1, ""))},
+	)
+	l := []float64{3, 4}
+	r := []float64{5, 6}
+	dst := make([]float64, 2)
+	b.Run("Map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maps.Map(l, r, dst)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Command progxe-bench regenerates the paper's evaluation figures
+// (Figs. 10–13): for each figure it runs the corresponding engines over the
+// corresponding workload and prints the series (results-over-time curves or
+// total-time-vs-selectivity tables).
+//
+// Usage:
+//
+//	progxe-bench                  # run every figure at the default scale
+//	progxe-bench -figure 11c      # one figure
+//	progxe-bench -list            # list figure ids and captions
+//	progxe-bench -series          # include full downsampled curves
+//	PROGXE_BENCH_SCALE=4 progxe-bench -figure 13c   # larger workloads
+//
+// Workload sizes default to laptop scale (the paper used N = 500K on a
+// dedicated workstation); PROGXE_BENCH_SCALE multiplies them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"progxe/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "progxe-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("progxe-bench", flag.ContinueOnError)
+	var (
+		figID  = fs.String("figure", "", "run a single figure (e.g. 10a, 11c, 12b, 13a)")
+		list   = fs.Bool("list", false, "list available figures")
+		series = fs.Bool("series", false, "print downsampled progress curves")
+		plot   = fs.Bool("plot", false, "render progress figures as ASCII charts")
+		check  = fs.Bool("check", false, "evaluate the paper's qualitative claims against the runs")
+		csvDir = fs.String("csv", "", "write per-figure series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, f := range bench.Figures() {
+			kind := "progress"
+			if f.Kind == bench.TotalTime {
+				kind = "total-time"
+			}
+			fmt.Printf("%-4s %-10s %s\n", f.ID, kind, f.Caption)
+		}
+		return nil
+	}
+
+	figs := bench.Figures()
+	if *figID != "" {
+		f, err := bench.FigureByID(*figID)
+		if err != nil {
+			return err
+		}
+		figs = []bench.Figure{f}
+	}
+
+	start := time.Now()
+	var verdicts []bench.CheckResult
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Println()
+		}
+		runs := bench.RunFigure(f, os.Stdout, *series)
+		if *plot && f.Kind == bench.Progress {
+			bench.Plot(os.Stdout, runs, 64, 16)
+		}
+		if *check {
+			verdicts = append(verdicts, bench.CheckFigure(f, runs)...)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, f, runs); err != nil {
+				return err
+			}
+		}
+	}
+	if *check {
+		fmt.Println("\n# shape checks")
+		failed := 0
+		for _, v := range verdicts {
+			fmt.Println(v)
+			if !v.Holds {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d shape checks failed", failed, len(verdicts))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n%d figure(s) in %v (scale %.2g)\n",
+		len(figs), time.Since(start).Round(time.Millisecond), bench.Scale())
+	return nil
+}
+
+// writeCSV stores one figure's series under dir as fig<ID>.csv.
+func writeCSV(dir string, f bench.Figure, runs []bench.RunResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "fig"+f.ID+".csv")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if f.Kind == bench.TotalTime {
+		return bench.WriteTotalsCSV(out, f.ID, runs)
+	}
+	return bench.WriteSeriesCSV(out, f.ID, runs)
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	t.Setenv("PROGXE_BENCH_SCALE", "0.02")
+	if err := run([]string{"-figure", "10a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "99x"}); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"progxe/internal/relation"
+)
+
+func TestRunSingle(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.csv")
+	if err := run([]string{"-n", "50", "-dims", "3", "-dist", "anti", "-sigma", "0.1", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rel, err := relation.ReadCSV("data", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 50 || rel.Schema.Arity() != 3 {
+		t.Fatalf("generated relation shape: N=%d arity=%d", rel.Len(), rel.Schema.Arity())
+	}
+}
+
+func TestRunPair(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-pair", "-n", "30", "-dims", "2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"R.csv", "T.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dist", "bogus"},
+		{"-pair"},      // pair without -out
+		{"-n", "-5"},   // negative N
+		{"-dims", "0"}, // zero dims
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

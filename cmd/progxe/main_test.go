@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"progxe/internal/datagen"
+)
+
+// writeData generates a small benchmark pair under dir and returns the two
+// CSV paths.
+func writeData(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	r, s, err := datagen.GeneratePair(datagen.Spec{N: 200, Dims: 2, Distribution: datagen.AntiCorrelated, Selectivity: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := filepath.Join(dir, "R.csv")
+	sp := filepath.Join(dir, "T.csv")
+	rf, err := os.Create(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if err := r.WriteCSV(rf); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if err := s.WriteCSV(sf); err != nil {
+		t.Fatal(err)
+	}
+	return rp, sp
+}
+
+const testQuery = `SELECT (R.a0 + T.a0) AS cost, (R.a1 + T.a1) AS delay
+FROM R R, T T WHERE R.jkey = T.jkey
+PREFERRING LOWEST(cost) AND LOWEST(delay)`
+
+func TestRunEngines(t *testing.T) {
+	rp, sp := writeData(t)
+	for _, engine := range []string{"progxe", "progxe+", "progxe-noorder", "jfsl", "jfsl+", "ssmj", "saj"} {
+		if err := run([]string{"-left", rp, "-right", sp, "-quiet", "-engine", engine, "-query", testQuery}); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	rp, sp := writeData(t)
+	if err := run([]string{"-left", rp, "-right", sp, "-explain", "-query", testQuery}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceAndStats(t *testing.T) {
+	rp, sp := writeData(t)
+	if err := run([]string{"-left", rp, "-right", sp, "-quiet", "-trace", "-stats", "-query", testQuery}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	rp, sp := writeData(t)
+	qf := filepath.Join(t.TempDir(), "q.sql")
+	if err := os.WriteFile(qf, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-left", rp, "-right", sp, "-quiet", "-query-file", qf}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	rp, sp := writeData(t)
+	cases := [][]string{
+		{},                          // missing files
+		{"-left", rp},               // missing right
+		{"-left", rp, "-right", sp}, // missing query
+		{"-left", rp, "-right", sp, "-query", testQuery, "-query-file", "x"}, // both query forms
+		{"-left", "/nonexistent.csv", "-right", sp, "-query", testQuery},
+		{"-left", rp, "-right", sp, "-query", "SELECT"},                      // parse error
+		{"-left", rp, "-right", sp, "-query", testQuery, "-engine", "bogus"}, // bad engine
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"sort"
+
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// SAJ is the Fagin-style [15] skyline-over-join baseline following the
+// JF-SL paradigm (Koudas et al. [6], as summarized in §VI-A): both sources
+// are consumed through sorted access in ascending local-score order, join
+// results are produced incrementally against the already-seen prefix of the
+// other source, and execution stops early once a threshold test proves that
+// no join result involving an unseen tuple can enter the skyline.
+//
+// The threshold is sound for monotone mapping sets: for each side, the
+// suffix minima of the used attributes lower-bound any future tuple on that
+// side, and the global minima of the other side lower-bound its partner;
+// interval propagation turns these into componentwise lower bounds τ_L
+// (future left tuple) and τ_R (future right tuple) on any unseen join
+// result. When both τ points are dominated by current candidates, all
+// remaining work is pruned. Output stays blocking — everything is reported
+// at the end, as in the JF-SL paradigm.
+type SAJ struct{}
+
+var _ smj.Engine = (*SAJ)(nil)
+
+// Name implements smj.Engine.
+func (e *SAJ) Name() string { return "SAJ" }
+
+// sortedSource pre-computes the sorted-access order of one source: tuple
+// indices in ascending sum-of-used-attributes order, plus suffix minima of
+// every attribute along that order.
+type sortedSource struct {
+	order     []int       // tuple indices, ascending local score
+	suffixLo  [][]float64 // suffixLo[pos][attr]: min attr value among order[pos:]
+	globalLo  []float64   // minima over the whole source
+	globalHi  []float64   // maxima over the whole source
+	seenByKey map[int64][]int
+	pos       int
+}
+
+func newSortedSource(rel *relation.Relation, used []int) *sortedSource {
+	n := rel.Len()
+	s := &sortedSource{
+		order:     make([]int, n),
+		seenByKey: make(map[int64][]int),
+	}
+	arity := rel.Schema.Arity()
+	score := make([]float64, n)
+	for i, t := range rel.Tuples {
+		s.order[i] = i
+		for _, a := range used {
+			score[i] += t.Vals[a]
+		}
+	}
+	sort.SliceStable(s.order, func(a, b int) bool { return score[s.order[a]] < score[s.order[b]] })
+
+	s.suffixLo = make([][]float64, n+1)
+	inf := make([]float64, arity)
+	for i := range inf {
+		inf[i] = maxFloat
+	}
+	s.suffixLo[n] = inf
+	for pos := n - 1; pos >= 0; pos-- {
+		t := rel.Tuples[s.order[pos]]
+		lo := make([]float64, arity)
+		for i := range lo {
+			lo[i] = s.suffixLo[pos+1][i]
+			if t.Vals[i] < lo[i] {
+				lo[i] = t.Vals[i]
+			}
+		}
+		s.suffixLo[pos] = lo
+	}
+	s.globalLo = s.suffixLo[0]
+	s.globalHi = make([]float64, arity)
+	copy(s.globalHi, inf)
+	for i := range s.globalHi {
+		s.globalHi[i] = -maxFloat
+	}
+	for _, t := range rel.Tuples {
+		for i, v := range t.Vals {
+			if v > s.globalHi[i] {
+				s.globalHi[i] = v
+			}
+		}
+	}
+	return s
+}
+
+const maxFloat = 1e308
+
+// exhausted reports whether all tuples have been accessed.
+func (s *sortedSource) exhausted() bool { return s.pos >= len(s.order) }
+
+// next performs one sorted access, registering the tuple as seen.
+func (s *sortedSource) next(rel *relation.Relation) int {
+	i := s.order[s.pos]
+	s.pos++
+	t := rel.Tuples[i]
+	s.seenByKey[t.JoinKey] = append(s.seenByKey[t.JoinKey], i)
+	return i
+}
+
+// Run implements smj.Engine.
+func (e *SAJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	var stats smj.Stats
+	cp, err := p.Canonicalized()
+	if err != nil {
+		return stats, err
+	}
+	left, right := cp.Left, cp.Right
+	d := cp.Maps.Dims()
+
+	ls := newSortedSource(left, cp.Maps.UsedAttrs(mapping.Left))
+	rs := newSortedSource(right, cp.Maps.UsedAttrs(mapping.Right))
+
+	type cand struct {
+		l, r  int64
+		v     []float64
+		alive bool
+	}
+	var cands []*cand
+	insert := func(li, ri int) {
+		stats.JoinResults++
+		v := make([]float64, d)
+		cp.Maps.Map(left.Tuples[li].Vals, right.Tuples[ri].Vals, v)
+		c := &cand{l: left.Tuples[li].ID, r: right.Tuples[ri].ID, v: v, alive: true}
+		for _, o := range cands {
+			if !o.alive {
+				continue
+			}
+			stats.DomComparisons++
+			if preference.DominatesMin(o.v, c.v) {
+				c.alive = false
+				break
+			}
+			if preference.DominatesMin(c.v, o.v) {
+				o.alive = false
+			}
+		}
+		cands = append(cands, c)
+	}
+
+	// thresholdMet reports whether every unseen join result is provably
+	// dominated by a current candidate.
+	thresholdMet := func() bool {
+		if len(cands) == 0 {
+			return false
+		}
+		// τ_L: a future left tuple joined with any right tuple.
+		tauL := intervalLower(cp.Maps, ls.suffixLo[ls.pos], rs.globalLo, d)
+		// τ_R: any left tuple joined with a future right tuple.
+		tauR := intervalLower(cp.Maps, ls.globalLo, rs.suffixLo[rs.pos], d)
+		domL, domR := false, false
+		for _, c := range cands {
+			if !c.alive {
+				continue
+			}
+			if !domL && preference.DominatesMin(c.v, tauL) {
+				domL = true
+			}
+			if !domR && preference.DominatesMin(c.v, tauR) {
+				domR = true
+			}
+			if domL && domR {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Round-robin sorted access with incremental joining.
+	for !ls.exhausted() || !rs.exhausted() {
+		if !ls.exhausted() {
+			li := ls.next(left)
+			for _, ri := range rs.seenByKey[left.Tuples[li].JoinKey] {
+				insert(li, ri)
+			}
+		}
+		if !rs.exhausted() {
+			ri := rs.next(right)
+			for _, li := range ls.seenByKey[right.Tuples[ri].JoinKey] {
+				insert(li, ri)
+			}
+		}
+		if (!ls.exhausted() || !rs.exhausted()) && thresholdMet() {
+			break
+		}
+	}
+
+	for _, c := range cands {
+		if !c.alive {
+			continue
+		}
+		out := make([]float64, d)
+		copy(out, c.v)
+		sink.Emit(smj.Result{LeftID: c.l, RightID: c.r, Out: smj.Decanonicalize(p.Pref, out)})
+		stats.ResultCount++
+	}
+	return stats, nil
+}
+
+// intervalLower propagates per-side attribute lower bounds through the
+// mapping set, returning the componentwise lower bound of any join result
+// drawn from those boxes. Upper bounds are taken as the global maxima, which
+// the lower-bound computation of monotone sets ignores; full interval
+// propagation keeps this sound for mixed-direction expressions too.
+func intervalLower(maps *mapping.Set, leftLo, rightLo []float64, d int) []float64 {
+	// Upper corners: reuse lower bounds — for lower-bound extraction of
+	// interval propagation the upper corner only matters for decreasing
+	// terms, where using the (smaller) lower corner over-estimates the
+	// bound. To stay sound in general, widen uppers to +inf.
+	hiL := make([]float64, len(leftLo))
+	hiR := make([]float64, len(rightLo))
+	for i := range hiL {
+		hiL[i] = maxFloat
+	}
+	for i := range hiR {
+		hiR[i] = maxFloat
+	}
+	lo := make([]float64, d)
+	for j := 0; j < d; j++ {
+		l, _ := maps.Func(j).Expr.Interval(leftLo, hiL, rightLo, hiR)
+		lo[j] = l
+	}
+	return lo
+}

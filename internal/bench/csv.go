@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV writes the runs' progress curves as tidy CSV — one row per
+// emission: figure, engine, elapsed_ms, count. External plotting tools can
+// regenerate the paper's figures directly from this format.
+func WriteSeriesCSV(w io.Writer, figID string, runs []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "engine", "elapsed_ms", "count"}); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			continue
+		}
+		for _, pt := range r.Points {
+			rec := []string{
+				figID,
+				r.Engine,
+				strconv.FormatFloat(float64(pt.Elapsed.Microseconds())/1000, 'f', 3, 64),
+				strconv.Itoa(pt.Count),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("bench: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTotalsCSV writes total-time sweep results as CSV — one row per
+// (engine, σ) cell: figure, engine, sigma, total_ms, results.
+func WriteTotalsCSV(w io.Writer, figID string, runs []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "engine", "sigma", "total_ms", "results"}); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			continue
+		}
+		rec := []string{
+			figID,
+			r.Engine,
+			strconv.FormatFloat(r.Workload.Sigma, 'g', -1, 64),
+			strconv.FormatFloat(float64(r.Total.Microseconds())/1000, 'f', 3, 64),
+			strconv.Itoa(r.Results),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

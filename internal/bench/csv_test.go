@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	runs := []RunResult{
+		{Engine: "ProgXe", Results: 2, Points: []ProgressPoint{
+			{Elapsed: 1500 * time.Microsecond, Count: 1},
+			{Elapsed: 2 * time.Millisecond, Count: 2},
+		}},
+		{Engine: "broken", Err: errFake},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, "11c", runs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 points; errored run skipped
+		t.Fatalf("got %d records", len(records))
+	}
+	if records[1][0] != "11c" || records[1][1] != "ProgXe" || records[1][2] != "1.500" || records[1][3] != "1" {
+		t.Fatalf("row = %v", records[1])
+	}
+}
+
+func TestWriteTotalsCSV(t *testing.T) {
+	runs := []RunResult{
+		{Engine: "SSMJ", Workload: Workload{Sigma: 0.01}, Total: 250 * time.Millisecond, Results: 42},
+	}
+	var buf bytes.Buffer
+	if err := WriteTotalsCSV(&buf, "13c", runs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "13c,SSMJ,0.01,250.000,42") {
+		t.Fatalf("totals csv = %q", out)
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"progxe/internal/datagen"
+)
+
+// Kind distinguishes the two figure families of the evaluation.
+type Kind int8
+
+const (
+	// Progress figures plot cumulative results over time (Figs. 10a–c,
+	// 11, 12).
+	Progress Kind = iota
+	// TotalTime figures plot total execution time against join selectivity
+	// (Figs. 10d–f, 13).
+	TotalTime
+)
+
+// Figure is one experiment of the paper's evaluation: a workload (or a
+// selectivity sweep over it), the engines compared, and the qualitative
+// shape the paper reports.
+type Figure struct {
+	ID       string
+	Caption  string
+	Kind     Kind
+	Workload Workload
+	Sweep    []float64 // σ values when Kind == TotalTime
+	Engines  []EngineSpec
+	Expect   string // the paper's claim, quoted in EXPERIMENTS.md
+}
+
+// sweepSigmas is the σ range of Figs. 10d–f and 13 ([1e-4, 1e-1]).
+var sweepSigmas = []float64{0.0001, 0.001, 0.01, 0.1}
+
+// Figures returns every table/figure reproduction in evaluation order. Base
+// cardinalities are laptop-scaled (the paper uses N = 500K); see Scale.
+func Figures() []Figure {
+	var figs []Figure
+	dists := []struct {
+		letter string
+		dist   datagen.Distribution
+	}{
+		{"a", datagen.Correlated},
+		{"b", datagen.Independent},
+		{"c", datagen.AntiCorrelated},
+	}
+
+	// Fig. 10 a–c: progressiveness of the four ProgXe variants, σ=0.001.
+	for _, d := range dists {
+		figs = append(figs, Figure{
+			ID:       "10" + d.letter,
+			Caption:  fmt.Sprintf("Progressiveness of ProgXe variants; %s, d=4, σ=0.001", d.dist),
+			Kind:     Progress,
+			Workload: Workload{N: scaled(4000), Dims: 4, Dist: d.dist, Sigma: 0.001, Seed: 10},
+			Engines:  ProgXeEngines(),
+			Expect:   "ordering produces results earlier and faster than random ordering; push-through helps correlated/independent, ProgXe alone leads on anti-correlated",
+		})
+	}
+	// Fig. 10 d–f: total execution time of the variants vs σ.
+	for _, d := range dists {
+		figs = append(figs, Figure{
+			ID:       "10" + string('d'+d.letter[0]-'a'),
+			Caption:  fmt.Sprintf("Total execution time of ProgXe variants vs σ; %s, d=4", d.dist),
+			Kind:     TotalTime,
+			Workload: Workload{N: scaled(1200), Dims: 4, Dist: d.dist, Seed: 10},
+			Sweep:    sweepSigmas,
+			Engines:  ProgXeEngines(),
+			Expect:   "ordering overhead negligible for σ<0.01 and beneficial for σ≥0.01",
+		})
+	}
+	// Fig. 11 a–c (σ=0.01) and d–f (σ=0.1): ProgXe/ProgXe+/SSMJ progress.
+	for _, d := range dists {
+		figs = append(figs, Figure{
+			ID:       "11" + d.letter,
+			Caption:  fmt.Sprintf("Progressiveness vs SSMJ; %s, d=4, σ=0.01", d.dist),
+			Kind:     Progress,
+			Workload: Workload{N: scaled(3000), Dims: 4, Dist: d.dist, Sigma: 0.01, Seed: 11},
+			Engines:  ComparisonEngines(),
+			Expect:   "ProgXe wins by orders of magnitude on anti-correlated; comparable on correlated",
+		})
+	}
+	for _, d := range dists {
+		figs = append(figs, Figure{
+			ID:       "11" + string('d'+d.letter[0]-'a'),
+			Caption:  fmt.Sprintf("Progressiveness vs SSMJ; %s, d=4, σ=0.1", d.dist),
+			Kind:     Progress,
+			Workload: Workload{N: scaled(1200), Dims: 4, Dist: d.dist, Sigma: 0.1, Seed: 12},
+			Engines:  ComparisonEngines(),
+			Expect:   "same ranking at high selectivity",
+		})
+	}
+	// Fig. 12: d=5, σ=0.1.
+	figs = append(figs, Figure{
+		ID:       "12a",
+		Caption:  "Higher dimension d=5, independent, σ=0.1",
+		Kind:     Progress,
+		Workload: Workload{N: scaled(1200), Dims: 5, Dist: datagen.Independent, Sigma: 0.1, Seed: 13},
+		Engines:  ComparisonEngines(),
+		Expect:   "SSMJ's first output is dramatically later than ProgXe's (paper: >350s vs 40–50s)",
+	})
+	figs = append(figs, Figure{
+		ID:       "12b",
+		Caption:  "Higher dimension d=5, anti-correlated, σ=0.1 (SSMJ returned nothing after hours)",
+		Kind:     Progress,
+		Workload: Workload{N: scaled(1200), Dims: 5, Dist: datagen.AntiCorrelated, Sigma: 0.1, Seed: 13},
+		Engines:  ComparisonEngines(),
+		Expect:   "SSMJ produces nothing until the very end of a far longer run; ProgXe and ProgXe+ stream throughout",
+	})
+	// Fig. 13: total execution time vs σ against SSMJ.
+	for _, d := range dists {
+		figs = append(figs, Figure{
+			ID:       "13" + d.letter,
+			Caption:  fmt.Sprintf("Total execution time vs SSMJ; %s, d=4", d.dist),
+			Kind:     TotalTime,
+			Workload: Workload{N: scaled(1800), Dims: 4, Dist: d.dist, Seed: 14},
+			Sweep:    sweepSigmas,
+			Engines:  ComparisonEngines(),
+			Expect:   "ProgXe total time competitive everywhere and far ahead on anti-correlated data",
+		})
+	}
+	return figs
+}
+
+// FigureByID returns the figure with the given id.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// FigureIDs lists all figure ids in order.
+func FigureIDs() []string {
+	figs := Figures()
+	ids := make([]string, len(figs))
+	for i, f := range figs {
+		ids[i] = f.ID
+	}
+	return ids
+}
+
+// RunFigure executes the figure and writes its series to w. For Progress
+// figures it prints each engine's summary and downsampled curve; for
+// TotalTime figures it prints one row per σ with a column per engine.
+// It returns every individual run.
+func RunFigure(f Figure, w io.Writer, series bool) []RunResult {
+	fmt.Fprintf(w, "# Figure %s — %s\n", f.ID, f.Caption)
+	fmt.Fprintf(w, "# workload: %s (paper: N=500K)\n", f.Workload)
+	fmt.Fprintf(w, "# paper expectation: %s\n", f.Expect)
+	switch f.Kind {
+	case TotalTime:
+		return runTotalTime(f, w)
+	default:
+		return runProgress(f, w, series)
+	}
+}
+
+func runProgress(f Figure, w io.Writer, series bool) []RunResult {
+	p, err := f.Workload.Problem()
+	if err != nil {
+		fmt.Fprintf(w, "! workload error: %v\n", err)
+		return nil
+	}
+	var out []RunResult
+	for _, spec := range f.Engines {
+		r := RunOn(spec, f.Workload, p)
+		out = append(out, r)
+		fmt.Fprintln(w, r.Summary())
+		if series && r.Err == nil {
+			for _, pt := range r.Downsample(16) {
+				fmt.Fprintf(w, "  %s\t%.3fms\t%d\n", r.Engine, float64(pt.Elapsed.Microseconds())/1000, pt.Count)
+			}
+		}
+	}
+	return out
+}
+
+func runTotalTime(f Figure, w io.Writer) []RunResult {
+	var out []RunResult
+	byEngine := map[string]map[float64]time.Duration{}
+	for _, sigma := range f.Sweep {
+		wl := f.Workload
+		wl.Sigma = sigma
+		p, err := wl.Problem()
+		if err != nil {
+			fmt.Fprintf(w, "! workload error at σ=%g: %v\n", sigma, err)
+			continue
+		}
+		for _, spec := range f.Engines {
+			r := RunOn(spec, wl, p)
+			out = append(out, r)
+			if byEngine[spec.Name] == nil {
+				byEngine[spec.Name] = map[float64]time.Duration{}
+			}
+			byEngine[spec.Name][sigma] = r.Total
+		}
+	}
+	// Header.
+	names := make([]string, 0, len(f.Engines))
+	for _, e := range f.Engines {
+		names = append(names, e.Name)
+	}
+	fmt.Fprintf(w, "%-10s", "σ")
+	for _, n := range names {
+		fmt.Fprintf(w, "%-22s", n)
+	}
+	fmt.Fprintln(w)
+	sigmas := append([]float64(nil), f.Sweep...)
+	sort.Float64s(sigmas)
+	for _, sigma := range sigmas {
+		fmt.Fprintf(w, "%-10g", sigma)
+		for _, n := range names {
+			fmt.Fprintf(w, "%-22v", byEngine[n][sigma].Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// plotSymbols identify engines on the ASCII canvas, in run order.
+var plotSymbols = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders the runs' cumulative results-over-time curves as an ASCII
+// chart — a terminal rendition of the paper's progressiveness figures.
+// Runs with errors or no results are listed below the chart.
+func Plot(w io.Writer, runs []RunResult, width, height int) {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var maxT time.Duration
+	maxC := 0
+	for _, r := range runs {
+		if r.Total > maxT {
+			maxT = r.Total
+		}
+		if r.Results > maxC {
+			maxC = r.Results
+		}
+	}
+	if maxT == 0 || maxC == 0 {
+		fmt.Fprintln(w, "(nothing to plot)")
+		return
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ri, r := range runs {
+		if r.Err != nil || r.Results == 0 {
+			continue
+		}
+		sym := plotSymbols[ri%len(plotSymbols)]
+		// Sample the curve at every column from its first emission onward.
+		for col := 0; col < width; col++ {
+			t := time.Duration(float64(maxT) * float64(col) / float64(width-1))
+			c := r.CountAt(t)
+			if c == 0 {
+				continue
+			}
+			row := height - 1 - int(float64(c)/float64(maxC)*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if canvas[row][col] == ' ' {
+				canvas[row][col] = sym
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "results (max %d)\n", maxC)
+	for _, line := range canvas {
+		fmt.Fprintf(w, "|%s\n", string(line))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, " 0%stime (max %v)\n", strings.Repeat(" ", max(1, width-24)), maxT.Round(time.Millisecond))
+	for ri, r := range runs {
+		sym := string(plotSymbols[ri%len(plotSymbols)])
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(w, " %s %s — error: %v\n", sym, r.Engine, r.Err)
+		case r.Results == 0:
+			fmt.Fprintf(w, " %s %s — no results\n", sym, r.Engine)
+		default:
+			fmt.Fprintf(w, " %s %s\n", sym, r.Engine)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package bench is the experiment harness for the paper's performance study
+// (§VI): workload construction, progressive-output recording, per-figure
+// experiment specifications, and series rendering. Every figure of the
+// evaluation (Figs. 10–13) has an entry in Figures; cmd/progxe-bench and the
+// repository-level benchmarks drive them.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"progxe/internal/baseline"
+	"progxe/internal/core"
+	"progxe/internal/datagen"
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/smj"
+)
+
+// Workload is one experiment configuration: the paper's two-source workload
+// with |R| = |T| = N, d skyline dimensions, a data distribution, and join
+// selectivity σ. The mapping is per-dimension addition, as in §VI-A.
+type Workload struct {
+	N     int
+	Dims  int
+	Dist  datagen.Distribution
+	Sigma float64
+	Seed  uint64
+}
+
+// String renders the workload the way the figures caption it.
+func (w Workload) String() string {
+	return fmt.Sprintf("%s d=%d N=%d σ=%g", w.Dist, w.Dims, w.N, w.Sigma)
+}
+
+// Problem materializes the workload into a runnable SkyMapJoin problem.
+func (w Workload) Problem() (*smj.Problem, error) {
+	r, t, err := datagen.GeneratePair(datagen.Spec{
+		N:            w.N,
+		Dims:         w.Dims,
+		Distribution: w.Dist,
+		Selectivity:  w.Sigma,
+		Seed:         w.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	funcs := make([]mapping.Func, w.Dims)
+	for j := 0; j < w.Dims; j++ {
+		funcs[j] = mapping.Func{
+			Name: fmt.Sprintf("x%d", j),
+			Expr: mapping.Sum(mapping.A(mapping.Left, j, ""), mapping.A(mapping.Right, j, "")),
+		}
+	}
+	maps, err := mapping.NewSet(funcs...)
+	if err != nil {
+		return nil, err
+	}
+	return &smj.Problem{Left: r, Right: t, Maps: maps, Pref: preference.AllLowest(w.Dims)}, nil
+}
+
+// EngineSpec names an engine and constructs fresh instances of it, so every
+// run starts from clean state.
+type EngineSpec struct {
+	Name string
+	New  func() smj.Engine
+}
+
+// ProgXeEngines returns the four framework variants compared in §VI-B
+// (Fig. 10): ProgXe, ProgXe+, and both with random ordering.
+func ProgXeEngines() []EngineSpec {
+	return []EngineSpec{
+		{"ProgXe", func() smj.Engine { return core.New(core.Options{}) }},
+		{"ProgXe+", func() smj.Engine { return core.New(core.Options{PushThrough: true}) }},
+		{"ProgXe (No-Order)", func() smj.Engine { return core.New(core.Options{Ordering: core.OrderRandom, Seed: 1}) }},
+		{"ProgXe+ (No-Order)", func() smj.Engine {
+			return core.New(core.Options{Ordering: core.OrderRandom, PushThrough: true, Seed: 1})
+		}},
+	}
+}
+
+// ComparisonEngines returns the engines of the state-of-the-art comparison
+// (§VI-C, Figs. 11–13): ProgXe, ProgXe+ and SSMJ.
+func ComparisonEngines() []EngineSpec {
+	return []EngineSpec{
+		{"ProgXe", func() smj.Engine { return core.New(core.Options{}) }},
+		{"ProgXe+", func() smj.Engine { return core.New(core.Options{PushThrough: true}) }},
+		{"SSMJ", func() smj.Engine { return &baseline.SSMJ{} }},
+	}
+}
+
+// BlockingEngines returns every blocking baseline (used by the total-time
+// comparisons that §VI-C delegates to the technical report).
+func BlockingEngines() []EngineSpec {
+	return []EngineSpec{
+		{"JF-SL", func() smj.Engine { return &baseline.JFSL{} }},
+		{"JF-SL+", func() smj.Engine { return &baseline.JFSL{PushThrough: true} }},
+		{"SAJ", func() smj.Engine { return &baseline.SAJ{} }},
+	}
+}
+
+// Scale returns the global workload scale factor from PROGXE_BENCH_SCALE
+// (default 1.0). The paper runs N = 500K per source on a dedicated
+// workstation; the figure defaults here are laptop-sized, and the scale knob
+// lets users grow them toward the paper's sizes.
+func Scale() float64 {
+	s := os.Getenv("PROGXE_BENCH_SCALE")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// scaled applies the global scale factor to a base cardinality.
+func scaled(n int) int {
+	v := int(float64(n) * Scale())
+	if v < 16 {
+		v = 16
+	}
+	return v
+}

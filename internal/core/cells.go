@@ -1,0 +1,263 @@
+package core
+
+import (
+	"progxe/internal/grid"
+	"progxe/internal/preference"
+	"progxe/internal/smj"
+)
+
+// outTuple is a surviving intermediate result held in an output cell's
+// buffer until ProgDetermine proves it safe to emit.
+type outTuple struct {
+	leftID  int64
+	rightID int64
+	v       []float64 // canonical (minimized) output vector
+}
+
+// cell is the runtime state of one output partition Oh (§V).
+//
+// The paper maintains per-cell lists Dom(Oh), DomBy(Oh), Dependent(Oh) and
+// Dependence(Oh) realized as counters. This implementation collapses them
+// into one observation: a finalized, unmarked, populated cell Oh may be
+// emitted exactly when no *active* cell (counted and not yet finalized) lies
+// in its closed lower orthant. Strictly-below active cells are Dom(Oh)
+// entries whose final emptiness is unknown; slice-below active cells are
+// Dependent(Oh) entries that may still produce dominators; populated
+// strictly-below cells mark Oh outright, and finalized cells impose no
+// constraint. Each blocked cell watches a single blocking cell and is
+// re-examined when that blocker finalizes — the count-based bookkeeping of
+// Algorithm 2 with amortized instead of eager updates.
+type cell struct {
+	flat      int
+	coords    []int
+	lower     []float64 // LOWER(Oh), for domination tests
+	coveredBy []int     // ids of regions covering this cell, ascending
+	regCount  int       // RegCount(Oh): unprocessed covering regions
+	counted   bool      // participates in blocking (was unmarked at build time)
+	marked    bool      // IS_MARKED(Oh): non-contributing, dominated at abstraction level
+	populated bool      // ever held a surviving tuple
+	finalized bool      // regCount reached zero: no future tuples can map here
+	emitted   bool      // survivors already reported
+	activeIdx int       // position in space.active, -1 if not active
+	tuples    []outTuple
+	watchers  []*cell // pending cells whose current blocker is this cell
+}
+
+// coveredByRegion reports whether the region id covers this cell.
+func (c *cell) coveredByRegion(id int) bool {
+	lo, hi := 0, len(c.coveredBy)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.coveredBy[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.coveredBy) && c.coveredBy[lo] == id
+}
+
+// space is the mapped output space: the output grid, the covered cells, and
+// the bookkeeping that drives progressive result determination.
+type space struct {
+	d     int
+	g     *grid.Grid
+	cells map[int]*cell
+	// cellList is the deterministic iteration order (ascending flat index).
+	cellList []*cell
+	// populated lists cells that ever received a surviving tuple.
+	populated []*cell
+	// active lists counted cells that have not yet finalized — the cells
+	// that can still block emission (swap-removed as they finalize).
+	active []*cell
+	stats  *smj.Stats
+	// emit delivers one safe result (canonical vector) to the caller.
+	emit func(t outTuple)
+	// traceEmit, when non-nil, observes each cell emission (cell, count).
+	traceEmit func(c *cell, n int)
+}
+
+// cellAt returns the covered cell with the given flat index, or nil.
+func (s *space) cellAt(flat int) *cell { return s.cells[flat] }
+
+// mark flags a cell as non-contributing and drops any buffered tuples;
+// results that map to marked cells are guaranteed dominated (§III-A Ex. 3).
+func (s *space) mark(c *cell) {
+	if c.marked {
+		return
+	}
+	c.marked = true
+	c.tuples = nil
+	s.stats.CellsMarked++
+}
+
+// insert runs the tuple-level dominance protocol of §III-B for one mapped
+// join result. Comparisons are confined to populated cells whose coordinates
+// are comparable to the target cell: slice-below cells may contain
+// dominators; slice-above cells may contain victims; the strict lower-left
+// orthant is empty for any unmarked cell (populating it would have marked
+// this cell), and incomparable corners are skipped entirely (Fig. 4).
+// It reports whether the tuple survived.
+func (s *space) insert(c *cell, t outTuple) bool {
+	if c.marked {
+		s.stats.MappedDiscarded++
+		return false
+	}
+	// Phase 1: can any existing survivor dominate t?
+	for _, p := range s.populated {
+		if len(p.tuples) == 0 {
+			continue
+		}
+		if p != c && !sliceBelowOrEqual(p.coords, c.coords) {
+			continue
+		}
+		for _, u := range p.tuples {
+			s.stats.DomComparisons++
+			if preference.DominatesMin(u.v, t.v) {
+				return false
+			}
+		}
+	}
+	// Phase 2: t survives; evict survivors it dominates.
+	for _, p := range s.populated {
+		if len(p.tuples) == 0 {
+			continue
+		}
+		if p != c && !sliceBelowOrEqual(c.coords, p.coords) {
+			continue
+		}
+		keep := p.tuples[:0]
+		for _, u := range p.tuples {
+			s.stats.DomComparisons++
+			if !preference.DominatesMin(t.v, u.v) {
+				keep = append(keep, u)
+			}
+		}
+		p.tuples = keep
+	}
+	c.tuples = append(c.tuples, t)
+	if !c.populated {
+		s.populate(c)
+	}
+	return true
+}
+
+// sliceBelowOrEqual reports a ≤ b componentwise with equality in ≥1
+// dimension — the comparable-slice relation of §III-B including a == b.
+func sliceBelowOrEqual(a, b []int) bool {
+	anyEqual := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] == b[i]:
+			anyEqual = true
+		}
+	}
+	return anyEqual
+}
+
+// populate records the first surviving tuple in a cell and marks every cell
+// strictly above it in all dimensions: any tuple of this cell strictly
+// improves on every point of those cells, so they can never contribute
+// (§III-B observation 2, maintained dynamically).
+func (s *space) populate(c *cell) {
+	c.populated = true
+	s.populated = append(s.populated, c)
+	for _, q := range s.cellList {
+		if q.marked || q == c {
+			continue
+		}
+		if grid.StrictlyBelow(c.coords, q.coords) {
+			s.mark(q)
+		}
+	}
+}
+
+// regionDone decrements RegCount for every cell of a processed or discarded
+// region, finalizing cells that can no longer receive tuples — the entry
+// point of ProgDetermine (Algorithm 2).
+func (s *space) regionDone(cellIDs []int) {
+	for _, flat := range cellIDs {
+		c := s.cells[flat]
+		c.regCount--
+		if c.regCount == 0 && !c.finalized {
+			s.finalize(c)
+		}
+	}
+}
+
+// finalize handles a cell whose tuple generation has completed: it leaves
+// the active (blocking) set, becomes an emission candidate itself, and wakes
+// the pending cells that were watching it (Progressive-Maintenance of
+// Algorithm 2, amortized).
+func (s *space) finalize(c *cell) {
+	c.finalized = true
+	s.deactivate(c)
+	s.consider(c)
+	if len(c.watchers) > 0 {
+		watchers := c.watchers
+		c.watchers = nil
+		for _, w := range watchers {
+			s.consider(w)
+		}
+	}
+}
+
+// deactivate removes the cell from the active set (swap removal).
+func (s *space) deactivate(c *cell) {
+	if c.activeIdx < 0 {
+		return
+	}
+	last := len(s.active) - 1
+	moved := s.active[last]
+	s.active[c.activeIdx] = moved
+	moved.activeIdx = c.activeIdx
+	s.active = s.active[:last]
+	c.activeIdx = -1
+}
+
+// consider attempts emission of a candidate cell under Principle 1: the
+// cell must be finalized, unmarked and populated, and no active cell may
+// remain in its closed lower orthant. If a blocker exists the candidate
+// watches it and is reconsidered when the blocker finalizes.
+func (s *space) consider(c *cell) {
+	if c.emitted || c.marked || !c.finalized || len(c.tuples) == 0 {
+		return
+	}
+	if b := s.findBlocker(c); b != nil {
+		b.watchers = append(b.watchers, c)
+		return
+	}
+	c.emitted = true
+	for _, t := range c.tuples {
+		s.emit(t)
+	}
+	s.stats.ResultCount += len(c.tuples)
+	if s.traceEmit != nil {
+		s.traceEmit(c, len(c.tuples))
+	}
+}
+
+// findBlocker returns an active cell within the closed lower orthant of c
+// (componentwise ≤), or nil if none remains.
+func (s *space) findBlocker(c *cell) *cell {
+	for _, q := range s.active {
+		if grid.LeqAll(q.coords, c.coords) {
+			return q
+		}
+	}
+	return nil
+}
+
+// unemitted returns cells that hold survivors but were never emitted; after
+// all regions are done this must be empty (completeness invariant).
+func (s *space) unemitted() []*cell {
+	var out []*cell
+	for _, c := range s.cellList {
+		if !c.emitted && !c.marked && len(c.tuples) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"progxe/internal/join"
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// Ordering selects the policy that picks the next region for tuple-level
+// processing.
+type Ordering int8
+
+const (
+	// OrderProgressive is ProgOrder (Algorithm 1): EL-Graph roots ranked by
+	// Benefit/Cost in an inverted priority queue.
+	OrderProgressive Ordering = iota
+	// OrderRandom picks live regions uniformly at random — the paper's
+	// "ProgXe (No-Order)" configuration (§VI-B).
+	OrderRandom
+	// OrderArrival processes regions in construction order (ablation).
+	OrderArrival
+	// OrderCardinality ranks EL-Graph roots by estimated cardinality/cost,
+	// ignoring the progressiveness (ProgCount) term (ablation isolating the
+	// benefit model).
+	OrderCardinality
+)
+
+// String names the ordering policy.
+func (o Ordering) String() string {
+	switch o {
+	case OrderProgressive:
+		return "progressive"
+	case OrderRandom:
+		return "random"
+	case OrderArrival:
+		return "arrival"
+	case OrderCardinality:
+		return "cardinality"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int8(o))
+	}
+}
+
+// Options configures the ProgXe engine.
+type Options struct {
+	// InputCells is the grid resolution g per used dimension on each input
+	// source. 0 (the default) sizes the grid automatically so that the
+	// region count stays small relative to the input cardinality.
+	InputCells int
+	// OutputCells is the output-space grid resolution k per dimension
+	// (partition size δ in §VI-B). 0 (the default) picks k so the total
+	// cell count stays near 4096 regardless of dimensionality, mirroring
+	// the paper's observation that a good δ depends only on d.
+	OutputCells int
+	// Ordering is the region-ordering policy. Default OrderProgressive.
+	Ordering Ordering
+	// PushThrough enables skyline partial push-through on each source
+	// before partitioning — the ProgXe+ variants.
+	PushThrough bool
+	// Seed drives the random ordering policy.
+	Seed uint64
+	// Partitioning selects the input space-partitioning structure
+	// (uniform grid by default; kd median splits adapt to skew).
+	Partitioning Partitioning
+	// Trace, when non-nil, receives an Event for every region selection,
+	// region completion, region discard, and cell emission. Intended for
+	// debugging, demos and tests; adds no cost when nil.
+	Trace func(Event)
+}
+
+func (o Options) withDefaults() Options {
+	if o.InputCells < 0 {
+		o.InputCells = 0 // auto
+	}
+	if o.OutputCells < 0 {
+		o.OutputCells = 0 // auto
+	}
+	return o
+}
+
+// autoOutputCells returns the per-dimension output grid resolution targeting
+// ≈4096 total cells: 64 for d ≤ 2, 16 for d = 3, 8 for d = 4, 5 for d = 5…
+func autoOutputCells(d int) int {
+	k := int(math.Floor(math.Pow(4096, 1/float64(d)) + 1e-9))
+	if k < 2 {
+		k = 2
+	}
+	if k > 64 {
+		k = 64
+	}
+	return k
+}
+
+// Engine is the ProgXe progressive SkyMapJoin engine. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	opts Options
+}
+
+// New returns a ProgXe engine with the given options.
+func New(opts Options) *Engine {
+	return &Engine{opts: opts.withDefaults()}
+}
+
+// Name identifies the configured variant using the paper's naming.
+func (e *Engine) Name() string {
+	name := "ProgXe"
+	if e.opts.PushThrough {
+		name += "+"
+	}
+	if e.opts.Ordering != OrderProgressive {
+		name += " (No-Order)"
+	}
+	return name
+}
+
+var _ smj.Engine = (*Engine)(nil)
+
+// partition splits one input per the configured partitioning method. For
+// kd splits, a positive InputCells g is interpreted as a total budget of
+// g^d partitions, matching the grid's resolution semantics.
+func (e *Engine) partition(rel *relation.Relation, maps *mapping.Set, side mapping.Side) ([]*inputPartition, error) {
+	if e.opts.Partitioning == PartitionKD {
+		maxParts := 0
+		if g := e.opts.InputCells; g > 0 {
+			maxParts = 1
+			for range maps.UsedAttrs(side) {
+				maxParts *= g
+			}
+		}
+		return partitionInputKD(rel, maps, side, maxParts)
+	}
+	return partitionInput(rel, maps, side, e.opts.InputCells)
+}
+
+// Run evaluates the problem, streaming each result to sink as soon as it is
+// provably part of the final skyline. The pipeline follows Fig. 2: output
+// space look-ahead, progressive-driven ordering, tuple-level processing, and
+// progressive result determination, repeated until every region is processed
+// or eliminated.
+func (e *Engine) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	var stats smj.Stats
+	cp, d, err := checkProblem(p)
+	if err != nil {
+		return stats, err
+	}
+	left, right := cp.Left, cp.Right
+
+	if e.opts.PushThrough {
+		var prunedL, prunedR int
+		left, prunedL = smj.PushThrough(left, cp.Maps, mapping.Left)
+		right, prunedR = smj.PushThrough(right, cp.Maps, mapping.Right)
+		stats.PushPruned = prunedL + prunedR
+	}
+
+	lparts, err := e.partition(left, cp.Maps, mapping.Left)
+	if err != nil {
+		return stats, err
+	}
+	rparts, err := e.partition(right, cp.Maps, mapping.Right)
+	if err != nil {
+		return stats, err
+	}
+
+	// Output space look-ahead (§III-A).
+	regions, pruned := buildRegions(lparts, rparts, cp.Maps)
+	stats.Regions = len(regions) + pruned
+	stats.RegionsPruned = pruned
+	outCells := e.opts.OutputCells
+	if outCells == 0 {
+		outCells = autoOutputCells(d)
+	}
+	s, err := buildSpace(regions, d, outCells, &stats)
+	if err != nil {
+		return stats, err
+	}
+	s.emit = func(t outTuple) {
+		sink.Emit(smj.Result{
+			LeftID:  t.leftID,
+			RightID: t.rightID,
+			Out:     smj.Decanonicalize(p.Pref, cloneVals(t.v)),
+		})
+	}
+
+	run := &runState{
+		engine:   e,
+		problem:  cp,
+		space:    s,
+		regions:  regions,
+		stats:    &stats,
+		d:        d,
+		outCells: outCells,
+	}
+	if e.opts.Trace != nil {
+		s.traceEmit = func(c *cell, n int) {
+			run.emitTrace(Event{Kind: EventCellEmitted, Cell: c.flat, Survivors: n})
+		}
+	}
+	if err := run.loop(); err != nil {
+		return stats, err
+	}
+
+	// Completeness check: with all regions resolved, every unmarked
+	// populated cell must have been emitted by the finalize cascade.
+	if leftovers := s.unemitted(); len(leftovers) > 0 {
+		return stats, fmt.Errorf("core: %d output cells retained unemitted survivors (invariant violation)", len(leftovers))
+	}
+	return stats, nil
+}
+
+// runState carries the per-run mutable state of the framework loop.
+type runState struct {
+	engine   *Engine
+	problem  *smj.Problem
+	space    *space
+	regions  []*region
+	stats    *smj.Stats
+	d        int
+	outCells int
+
+	live     int
+	queue    regionQueue
+	order    []*region // fixed order for random/arrival policies
+	orderPos int
+
+	mapBuf   []float64
+	roundNew [][]float64 // surviving vectors inserted by the current region
+}
+
+// loop repeats pick → tuple-level processing → progressive determination
+// until no live regions remain (Fig. 2's cycle).
+func (r *runState) loop() error {
+	r.live = len(r.regions)
+	r.mapBuf = make([]float64, r.d)
+	opts := r.engine.opts
+
+	switch opts.Ordering {
+	case OrderRandom:
+		r.order = append([]*region(nil), r.regions...)
+		rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
+		rng.Shuffle(len(r.order), func(i, j int) { r.order[i], r.order[j] = r.order[j], r.order[i] })
+	case OrderArrival:
+		r.order = append([]*region(nil), r.regions...)
+	default:
+		buildELGraph(r.regions)
+		for _, reg := range r.regions {
+			if reg.inDeg == 0 {
+				r.analyseRegion(reg)
+				r.queue.push(reg)
+			}
+		}
+	}
+
+	for r.live > 0 {
+		reg := r.next()
+		if reg == nil {
+			return fmt.Errorf("core: no region to schedule with %d live regions", r.live)
+		}
+		if reg.state != regionLive {
+			continue
+		}
+		r.emitTrace(Event{Kind: EventRegionChosen, Region: reg.id, Rank: reg.rank})
+		r.process(reg)
+	}
+	return nil
+}
+
+// next picks the region for the upcoming tuple-level processing round.
+func (r *runState) next() *region {
+	switch r.engine.opts.Ordering {
+	case OrderRandom, OrderArrival:
+		for r.orderPos < len(r.order) {
+			reg := r.order[r.orderPos]
+			r.orderPos++
+			if reg.state == regionLive {
+				return reg
+			}
+		}
+		return nil
+	default:
+		for {
+			reg := r.queue.pop()
+			if reg == nil {
+				// The EL-Graph may contain cycles (mutual partial
+				// elimination); break them by the best-ranked live region.
+				return r.bestLive()
+			}
+			if reg.state == regionLive {
+				return reg
+			}
+		}
+	}
+}
+
+// bestLive returns the best-ranked remaining live region using cached ranks
+// — the cycle-breaking fallback for ProgOrder. Ranks of never-queued regions
+// are computed once here; re-analysing all live regions on every fallback
+// would cost O(n²·|cells|) over a run.
+func (r *runState) bestLive() *region {
+	var best *region
+	for _, reg := range r.regions {
+		if reg.state != regionLive {
+			continue
+		}
+		if reg.cost == 0 {
+			r.analyseRegion(reg)
+		}
+		if best == nil || reg.rank > best.rank || (reg.rank == best.rank && reg.id < best.id) {
+			best = reg
+		}
+	}
+	return best
+}
+
+func (r *runState) analyseRegion(reg *region) {
+	analyse(r.space, reg, r.d, r.outCells)
+	if r.engine.opts.Ordering == OrderCardinality {
+		// Replace the benefit with the raw cardinality estimate, keeping
+		// the cost denominator (ablation).
+		reg.benefit = float64(reg.joinCard)
+		reg.rank = reg.benefit / reg.cost
+	}
+}
+
+// process runs tuple-level processing (§III-B) for one region, then the
+// progressive determination cascade and the Algorithm 1 graph updates.
+func (r *runState) process(reg *region) {
+	reg.state = regionProcessed
+	r.live--
+	r.roundNew = r.roundNew[:0]
+	joinedBefore := r.stats.JoinResults
+
+	lt, rt := reg.a.tuples, reg.b.tuples
+	r.stats.JoinResults += join.Hash(lt, rt, func(li, ri int) bool {
+		v := r.problem.Maps.Map(lt[li].Vals, rt[ri].Vals, r.mapBuf)
+		c := r.space.cellAt(r.space.g.CellOf(v))
+		if c == nil {
+			// Cannot happen: the region's enclosure covers this cell.
+			return true
+		}
+		t := outTuple{leftID: lt[li].ID, rightID: rt[ri].ID, v: cloneVals(v)}
+		if r.space.insert(c, t) {
+			r.roundNew = append(r.roundNew, t.v)
+		}
+		return true
+	})
+
+	r.emitTrace(Event{
+		Kind:        EventRegionProcessed,
+		Region:      reg.id,
+		JoinResults: r.stats.JoinResults - joinedBefore,
+		Survivors:   len(r.roundNew),
+	})
+
+	// Progressive result determination (Algorithm 2) over this region.
+	r.space.regionDone(reg.cells)
+
+	// Algorithm 1, Line 9: discard live regions now dominated by tuples
+	// generated in this round.
+	if len(r.roundNew) > 0 {
+		for _, other := range r.regions {
+			if other.state != regionLive {
+				continue
+			}
+			for _, v := range r.roundNew {
+				if preference.DominatesMin(v, other.rect.Lower) {
+					r.discard(other)
+					break
+				}
+			}
+		}
+	}
+
+	// Algorithm 1, Lines 10–19: release out-edges, update benefits of
+	// queued targets, enqueue new roots.
+	r.releaseEdges(reg)
+}
+
+// discard eliminates a live region without processing it: its cells'
+// RegCounts drain (possibly finalizing them) and its graph edges release.
+func (r *runState) discard(reg *region) {
+	if reg.state != regionLive {
+		return
+	}
+	reg.state = regionDiscarded
+	r.live--
+	r.stats.RegionsDropped++
+	r.emitTrace(Event{Kind: EventRegionDiscarded, Region: reg.id})
+	r.queue.remove(reg)
+	r.space.regionDone(reg.cells)
+	r.releaseEdges(reg)
+}
+
+// releaseEdges removes the region's out-edges from the EL-Graph, updating
+// ranks of queued targets and enqueueing targets that became roots.
+func (r *runState) releaseEdges(reg *region) {
+	if r.engine.opts.Ordering == OrderRandom || r.engine.opts.Ordering == OrderArrival {
+		return
+	}
+	for _, id := range reg.out {
+		target := r.regions[id]
+		target.inDeg--
+		if target.state != regionLive {
+			continue
+		}
+		if r.queue.contains(target) {
+			r.analyseRegion(target)
+			r.queue.fix(target)
+		} else if target.inDeg == 0 {
+			r.analyseRegion(target)
+			r.queue.push(target)
+		}
+	}
+	reg.out = nil
+}

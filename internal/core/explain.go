@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"progxe/internal/grid"
+	"progxe/internal/mapping"
+	"progxe/internal/smj"
+)
+
+// Plan summarizes what the output-space look-ahead would do for a problem
+// without performing any tuple-level work: partition counts, region counts
+// and pruning, output-grid shape, cell marking, and the EL-Graph profile.
+// It is the "EXPLAIN" view of a ProgXe execution.
+type Plan struct {
+	LeftPartitions  int
+	RightPartitions int
+	InputCells      int // g actually used per dimension (left side)
+	OutputCells     int // k per output dimension
+	Regions         int // live regions after pruning
+	RegionsPruned   int // eliminated by look-ahead alone
+	CoveredCells    int
+	MarkedCells     int // statically marked non-contributing
+	Roots           int // EL-Graph roots
+	Edges           int // EL-Graph edges
+	OutputBounds    grid.Rect
+	EstimatedJoin   int // total join results across live regions
+}
+
+// Explain runs the look-ahead phases of the engine (§III-A and the EL-Graph
+// construction of §IV) and reports the resulting plan.
+func Explain(p *smj.Problem, opts Options) (Plan, error) {
+	var plan Plan
+	opts = opts.withDefaults()
+	cp, d, err := checkProblem(p)
+	if err != nil {
+		return plan, err
+	}
+	left, right := cp.Left, cp.Right
+	if opts.PushThrough {
+		left, _ = smj.PushThrough(left, cp.Maps, mapping.Left)
+		right, _ = smj.PushThrough(right, cp.Maps, mapping.Right)
+	}
+	lparts, err := partitionInput(left, cp.Maps, mapping.Left, opts.InputCells)
+	if err != nil {
+		return plan, err
+	}
+	rparts, err := partitionInput(right, cp.Maps, mapping.Right, opts.InputCells)
+	if err != nil {
+		return plan, err
+	}
+	plan.LeftPartitions = len(lparts)
+	plan.RightPartitions = len(rparts)
+	plan.InputCells = opts.InputCells
+	if plan.InputCells == 0 {
+		plan.InputCells = autoCells(left.Len(), max(1, len(cp.Maps.UsedAttrs(mapping.Left))))
+	}
+
+	regions, pruned := buildRegions(lparts, rparts, cp.Maps)
+	plan.Regions = len(regions)
+	plan.RegionsPruned = pruned
+	for _, r := range regions {
+		plan.EstimatedJoin += r.joinCard
+	}
+
+	outCells := opts.OutputCells
+	if outCells == 0 {
+		outCells = autoOutputCells(d)
+	}
+	plan.OutputCells = outCells
+	var stats smj.Stats
+	s, err := buildSpace(regions, d, outCells, &stats)
+	if err != nil {
+		return plan, err
+	}
+	plan.CoveredCells = len(s.cellList)
+	plan.MarkedCells = stats.CellsMarked
+	if s.g != nil {
+		b := s.g.Bounds()
+		plan.OutputBounds = grid.Rect{Lower: b.Lo, Upper: b.Hi}
+	}
+
+	buildELGraph(regions)
+	for _, r := range regions {
+		plan.Edges += len(r.out)
+		if r.inDeg == 0 {
+			plan.Roots++
+		}
+	}
+	return plan, nil
+}
+
+// String renders the plan as a multi-line report.
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "input partitions:  %d × %d (g=%d)\n", p.LeftPartitions, p.RightPartitions, p.InputCells)
+	fmt.Fprintf(&sb, "regions:           %d live, %d pruned by look-ahead\n", p.Regions, p.RegionsPruned)
+	fmt.Fprintf(&sb, "estimated joins:   %d\n", p.EstimatedJoin)
+	fmt.Fprintf(&sb, "output grid:       k=%d over %s\n", p.OutputCells, p.OutputBounds)
+	fmt.Fprintf(&sb, "covered cells:     %d (%d marked non-contributing)\n", p.CoveredCells, p.MarkedCells)
+	fmt.Fprintf(&sb, "EL-graph:          %d edges, %d roots", p.Edges, p.Roots)
+	return sb.String()
+}

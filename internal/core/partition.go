@@ -1,0 +1,162 @@
+// Package core implements the ProgXe progressive query evaluation framework
+// of the paper (§III–§V): output-space look-ahead, ordered tuple-level
+// processing, and progressive result determination, plus the ProgXe+
+// push-through variant and the non-ordered ablations used in §VI-B.
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"progxe/internal/grid"
+	"progxe/internal/mapping"
+	"progxe/internal/relation"
+	"progxe/internal/sig"
+	"progxe/internal/smj"
+)
+
+// inputPartition is one grid partition of an input source (IRa / ITb in the
+// paper's notation): the member tuples, their tight bounding box over the
+// full attribute vector, and the join-key signature maintained for the
+// partition (§III-A).
+type inputPartition struct {
+	id     int
+	tuples []relation.Tuple
+	rect   grid.Rect
+	sig    *sig.Exact
+}
+
+// autoCells picks the per-dimension input grid resolution when the caller
+// does not fix one. The framework's region machinery costs O(n²) in the
+// number of regions n ≈ (g^d)², so g is chosen to keep the total partition
+// count per source bounded (≈ 1 partition per 48 tuples, at most 64 per
+// source), honouring the paper's premise that n << N (§IV time complexity).
+func autoCells(n, usedDims int) int {
+	target := float64(n) / 48
+	if target < 1 {
+		target = 1
+	}
+	if target > 36 {
+		target = 36
+	}
+	g := int(math.Floor(math.Pow(target, 1/float64(usedDims))))
+	if g < 1 {
+		g = 1
+	}
+	if g > 8 {
+		g = 8
+	}
+	return g
+}
+
+// partitionInput splits a relation into grid partitions over the attributes
+// used by the mapping functions on the given side, with cellsPerDim cells in
+// each used dimension (0 selects autoCells). Partitions are returned in
+// ascending grid-cell order; each carries a tight bounding box (over all
+// attributes) and an exact join-key signature.
+func partitionInput(rel *relation.Relation, maps *mapping.Set, side mapping.Side, cellsPerDim int) ([]*inputPartition, error) {
+	used := maps.UsedAttrs(side)
+	if len(rel.Tuples) == 0 {
+		return nil, nil
+	}
+	if cellsPerDim <= 0 {
+		cellsPerDim = autoCells(len(rel.Tuples), max(1, len(used)))
+	}
+	if len(used) == 0 {
+		// The side contributes no mapped attributes: a single partition.
+		p := newPartition(0, rel.Schema.Arity())
+		for _, t := range rel.Tuples {
+			p.add(t)
+		}
+		return []*inputPartition{p}, nil
+	}
+
+	// Project the used attributes and bound them.
+	pts := make([][]float64, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		v := make([]float64, len(used))
+		for j, a := range used {
+			v[j] = t.Vals[a]
+		}
+		pts[i] = v
+	}
+	bounds, err := grid.BoundsOf(pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: bounding %s input: %w", side, err)
+	}
+	g, err := grid.Uniform(bounds, cellsPerDim)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s input: %w", side, err)
+	}
+
+	byCell := make(map[int]*inputPartition)
+	for i, t := range rel.Tuples {
+		flat := g.CellOf(pts[i])
+		p := byCell[flat]
+		if p == nil {
+			p = newPartition(flat, rel.Schema.Arity())
+			byCell[flat] = p
+		}
+		p.add(t)
+	}
+	out := make([]*inputPartition, 0, len(byCell))
+	for _, p := range byCell {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	// Re-number sequentially for compact indexing.
+	for i, p := range out {
+		p.id = i
+	}
+	return out, nil
+}
+
+// newPartition returns an empty partition whose bounding box will track the
+// full arity-dimensional attribute vectors of added tuples.
+func newPartition(id, arity int) *inputPartition {
+	return &inputPartition{
+		id:  id,
+		sig: sig.NewExact(),
+		rect: grid.Rect{
+			Lower: make([]float64, arity),
+			Upper: make([]float64, arity),
+		},
+	}
+}
+
+// add appends a tuple, growing the bounding box and the signature.
+func (p *inputPartition) add(t relation.Tuple) {
+	if len(p.tuples) == 0 {
+		copy(p.rect.Lower, t.Vals)
+		copy(p.rect.Upper, t.Vals)
+	} else {
+		for i, v := range t.Vals {
+			if v < p.rect.Lower[i] {
+				p.rect.Lower[i] = v
+			}
+			if v > p.rect.Upper[i] {
+				p.rect.Upper[i] = v
+			}
+		}
+	}
+	p.tuples = append(p.tuples, t)
+	p.sig.Add(t.JoinKey)
+}
+
+// len returns the partition cardinality (n_a^R in the cost model).
+func (p *inputPartition) len() int { return len(p.tuples) }
+
+// checkProblem validates and canonicalizes the problem for the ProgXe
+// engines and reports the output dimensionality.
+func checkProblem(p *smj.Problem) (*smj.Problem, int, error) {
+	cp, err := p.Canonicalized()
+	if err != nil {
+		return nil, 0, err
+	}
+	return cp, cp.Maps.Dims(), nil
+}
+
+// cloneVals returns a copy of a float vector (helper for emitted results).
+func cloneVals(v []float64) []float64 { return slices.Clone(v) }

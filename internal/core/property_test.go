@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"progxe/internal/baseline"
+	"progxe/internal/datagen"
+	"progxe/internal/smj"
+)
+
+// TestPropertyRandomConfigs drives the whole pipeline with randomized
+// workload and engine configurations and checks set equality with the oracle
+// plus emission finality — a randomized sweep over the space the fixed-grid
+// tests sample deterministically.
+func TestPropertyRandomConfigs(t *testing.T) {
+	r := rand.New(rand.NewPCG(1234, 5678))
+	dists := []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated}
+	trial := 0
+	f := func() bool {
+		trial++
+		n := 20 + r.IntN(150)
+		d := 1 + r.IntN(4)
+		dist := dists[r.IntN(len(dists))]
+		sigma := []float64{0.01, 0.05, 0.2}[r.IntN(3)]
+		opts := Options{
+			InputCells:  r.IntN(5),     // 0 = auto
+			OutputCells: r.IntN(3) * 8, // 0 = auto, 8, 16
+			Ordering:    Ordering(r.IntN(4)),
+			PushThrough: r.IntN(2) == 1,
+			Seed:        uint64(trial),
+		}
+		p := smokeProblem(t, n, d, dist, sigma, uint64(1000+trial))
+		oracle, err := baseline.Oracle(p)
+		if err != nil {
+			t.Logf("trial %d: oracle: %v", trial, err)
+			return false
+		}
+		inOracle := make(map[[2]int64]bool, len(oracle))
+		for _, res := range oracle {
+			inOracle[res.Key()] = true
+		}
+		ok := true
+		seen := 0
+		_, err = New(opts).Run(p, smj.SinkFunc(func(res smj.Result) {
+			seen++
+			if !inOracle[res.Key()] {
+				ok = false
+			}
+		}))
+		if err != nil {
+			t.Logf("trial %d (%+v, n=%d d=%d %s σ=%g): %v", trial, opts, n, d, dist, sigma, err)
+			return false
+		}
+		if !ok || seen != len(oracle) {
+			t.Logf("trial %d (%+v, n=%d d=%d %s σ=%g): emitted %d, oracle %d, clean=%v",
+				trial, opts, n, d, dist, sigma, seen, len(oracle), ok)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,73 @@
+package core
+
+import "container/heap"
+
+// regionQueue is the inverted priority queue of Algorithm 1: live root
+// regions ordered by descending rank (Benefit/Cost), with deterministic
+// id-based tie-breaking. It supports in-place rank updates via fix.
+type regionQueue struct {
+	items []*region
+}
+
+var _ heap.Interface = (*regionQueue)(nil)
+
+func (q *regionQueue) Len() int { return len(q.items) }
+
+func (q *regionQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.rank != b.rank {
+		return a.rank > b.rank
+	}
+	return a.id < b.id
+}
+
+func (q *regionQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].heapIdx = i
+	q.items[j].heapIdx = j
+}
+
+// Push implements heap.Interface; use push instead.
+func (q *regionQueue) Push(x any) {
+	r := x.(*region)
+	r.heapIdx = len(q.items)
+	q.items = append(q.items, r)
+}
+
+// Pop implements heap.Interface; use pop instead.
+func (q *regionQueue) Pop() any {
+	n := len(q.items)
+	r := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	r.heapIdx = -1
+	return r
+}
+
+// push inserts a region.
+func (q *regionQueue) push(r *region) { heap.Push(q, r) }
+
+// pop removes and returns the highest-ranked region, or nil if empty.
+func (q *regionQueue) pop() *region {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*region)
+}
+
+// fix restores heap order after r's rank changed.
+func (q *regionQueue) fix(r *region) {
+	if r.heapIdx >= 0 {
+		heap.Fix(q, r.heapIdx)
+	}
+}
+
+// remove deletes r from the queue if present.
+func (q *regionQueue) remove(r *region) {
+	if r.heapIdx >= 0 {
+		heap.Remove(q, r.heapIdx)
+	}
+}
+
+// contains reports whether r is currently queued.
+func (q *regionQueue) contains(r *region) bool { return r.heapIdx >= 0 }

@@ -1,0 +1,102 @@
+package core
+
+import "testing"
+
+func qr(id int, rank float64) *region {
+	return &region{id: id, rank: rank, heapIdx: -1}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q regionQueue
+	a, b, c := qr(1, 0.5), qr(2, 2.0), qr(3, 1.0)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if got := q.pop(); got != b {
+		t.Fatalf("pop = %d, want highest rank 2", got.id)
+	}
+	if got := q.pop(); got != c {
+		t.Fatalf("pop = %d, want rank 1.0", got.id)
+	}
+	if got := q.pop(); got != a {
+		t.Fatalf("pop = %d, want rank 0.5", got.id)
+	}
+	if q.pop() != nil {
+		t.Fatal("empty queue must pop nil")
+	}
+}
+
+func TestQueueTieBreakByID(t *testing.T) {
+	var q regionQueue
+	x, y := qr(7, 1.0), qr(3, 1.0)
+	q.push(x)
+	q.push(y)
+	if got := q.pop(); got != y {
+		t.Fatalf("tie must break by smaller id, got %d", got.id)
+	}
+}
+
+func TestQueueFix(t *testing.T) {
+	var q regionQueue
+	a, b := qr(1, 1.0), qr(2, 2.0)
+	q.push(a)
+	q.push(b)
+	a.rank = 5.0
+	q.fix(a)
+	if got := q.pop(); got != a {
+		t.Fatalf("after fix, pop = %d, want updated region", got.id)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q regionQueue
+	a, b, c := qr(1, 1.0), qr(2, 2.0), qr(3, 3.0)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if !q.contains(b) {
+		t.Fatal("b must be queued")
+	}
+	q.remove(b)
+	if q.contains(b) || b.heapIdx != -1 {
+		t.Fatal("removed region must leave the queue")
+	}
+	if got := q.pop(); got != c {
+		t.Fatalf("pop = %d, want 3", got.id)
+	}
+	if got := q.pop(); got != a {
+		t.Fatalf("pop = %d, want 1", got.id)
+	}
+	// Removing a non-member is a no-op.
+	q.remove(b)
+}
+
+func TestQueueHeapIndexConsistency(t *testing.T) {
+	var q regionQueue
+	regs := make([]*region, 20)
+	for i := range regs {
+		regs[i] = qr(i, float64((i*7)%13))
+		q.push(regs[i])
+	}
+	for _, r := range regs[:10] {
+		q.remove(r)
+	}
+	for _, r := range regs {
+		if r.heapIdx >= 0 {
+			if q.items[r.heapIdx] != r {
+				t.Fatalf("heapIdx of region %d stale", r.id)
+			}
+		}
+	}
+	prev := 1e18
+	for {
+		r := q.pop()
+		if r == nil {
+			break
+		}
+		if r.rank > prev {
+			t.Fatal("pops must be non-increasing in rank")
+		}
+		prev = r.rank
+	}
+}

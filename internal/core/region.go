@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"progxe/internal/grid"
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/skyline"
+	"progxe/internal/smj"
+)
+
+// regionState tracks a region's lifecycle.
+type regionState int8
+
+const (
+	regionLive      regionState = iota // awaiting tuple-level processing
+	regionProcessed                    // tuple-level processing completed
+	regionDiscarded                    // eliminated; never processed
+)
+
+// region is one output region R_{a,b}: the mapped image of an input
+// partition pair guaranteed to produce at least one join result (§III-A).
+type region struct {
+	id   int
+	a, b *inputPartition // a from Left, b from Right
+	rect grid.Rect       // output-space enclosure from interval propagation
+
+	cells      []int // flat ids of covered output cells, ascending
+	minC, maxC []int // coordinate box of the covered cells
+
+	joinCard int // exact join cardinality |IRa ⋈ ITb| (σ·n_a·n_b in Eq. 4–5)
+	state    regionState
+
+	// EL-Graph adjacency (§IV-B): out-edges to regions this region can
+	// partially or completely eliminate.
+	out   []int
+	inDeg int
+
+	benefit float64
+	cost    float64
+	rank    float64 // Equation 8: Benefit / Cost
+	heapIdx int     // position in the inverted priority queue; -1 if absent
+}
+
+// buildRegions pairs the input partitions, keeps pairs whose exact join
+// signatures intersect (guaranteed populated), computes their output
+// enclosures via interval propagation, and applies region-level domination
+// pruning (Output Space Look-Ahead step 1). The returned regions are live;
+// pruned is the count eliminated before any tuple work.
+func buildRegions(left, right []*inputPartition, maps *mapping.Set) (regions []*region, pruned int) {
+	var all []*region
+	for _, a := range left {
+		for _, b := range right {
+			if !a.sig.MayJoin(b.sig) {
+				continue
+			}
+			all = append(all, &region{
+				id:       len(all),
+				a:        a,
+				b:        b,
+				rect:     maps.MapRegion(a.rect, b.rect),
+				joinCard: a.sig.JoinCardinality(b.sig),
+				state:    regionLive,
+				heapIdx:  -1,
+			})
+		}
+	}
+	// Region-level pruning: X is eliminated if some guaranteed-populated
+	// region's UPPER point dominates LOWER(X) (Example 2). Pruning by a
+	// region that is itself pruned stays sound: the domination relation over
+	// enclosures is acyclic and chains down to a surviving witness region.
+	dominated := make([]bool, len(all))
+	for i, x := range all {
+		for j, y := range all {
+			if i == j {
+				continue
+			}
+			if y.rect.DominatesRect(x.rect) {
+				dominated[i] = true
+				pruned++
+				break
+			}
+		}
+	}
+	for i, r := range all {
+		if !dominated[i] {
+			regions = append(regions, r)
+		}
+	}
+	// Renumber the survivors for compact ids.
+	for i, r := range regions {
+		r.id = i
+	}
+	return regions, pruned
+}
+
+// buildSpace lays the output grid over the union of the live regions'
+// enclosures, computes cell coverage and RegCounts, applies static cell
+// marking (Example 3), and initializes the Dom/Dependent counters.
+func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space, error) {
+	if len(regions) == 0 {
+		return &space{d: d, cells: map[int]*cell{}, stats: stats}, nil
+	}
+	bounds := regions[0].rect
+	for _, r := range regions[1:] {
+		bounds = bounds.Union(r.rect)
+	}
+	gb, err := grid.NewBounds(bounds.Lower, bounds.Upper)
+	if err != nil {
+		return nil, fmt.Errorf("core: output bounds: %w", err)
+	}
+	g, err := grid.Uniform(gb, outputCells)
+	if err != nil {
+		return nil, fmt.Errorf("core: output grid: %w", err)
+	}
+	s := &space{d: d, g: g, cells: make(map[int]*cell), stats: stats}
+
+	// Coverage: which regions can deposit tuples into which cells.
+	var scratch []int
+	for _, r := range regions {
+		scratch = g.CellsOverlapping(r.rect, scratch[:0])
+		r.cells = append(r.cells[:0], scratch...)
+		sort.Ints(r.cells)
+		r.minC = make([]int, d)
+		r.maxC = make([]int, d)
+		for i := range r.minC {
+			r.minC[i] = math.MaxInt
+			r.maxC[i] = -1
+		}
+		for _, flat := range r.cells {
+			c := s.cells[flat]
+			if c == nil {
+				coords := make([]int, d)
+				g.Coords(flat, coords)
+				lower := make([]float64, d)
+				g.CellLower(coords, lower)
+				c = &cell{flat: flat, coords: coords, lower: lower, activeIdx: -1}
+				s.cells[flat] = c
+			}
+			c.coveredBy = append(c.coveredBy, r.id)
+			c.regCount++
+			for i, v := range c.coords {
+				if v < r.minC[i] {
+					r.minC[i] = v
+				}
+				if v > r.maxC[i] {
+					r.maxC[i] = v
+				}
+			}
+		}
+	}
+	s.cellList = make([]*cell, 0, len(s.cells))
+	for _, c := range s.cells {
+		s.cellList = append(s.cellList, c)
+	}
+	sort.Slice(s.cellList, func(i, j int) bool { return s.cellList[i].flat < s.cellList[j].flat })
+
+	// Static marking: cells whose LOWER point is dominated by the UPPER
+	// point of any guaranteed-populated region are non-contributing.
+	for _, c := range s.cellList {
+		for _, r := range regions {
+			if preference.DominatesMin(r.rect.Upper, c.lower) {
+				s.mark(c)
+				break
+			}
+		}
+	}
+
+	// Counted (unmarked-at-build) cells form the initial active set: until
+	// they finalize they can block emission of cells above them — the
+	// Dom/Dependent bookkeeping of §V in its amortized realization.
+	for _, c := range s.cellList {
+		c.counted = !c.marked
+		if c.counted {
+			c.activeIdx = len(s.active)
+			s.active = append(s.active, c)
+		}
+	}
+	return s, nil
+}
+
+// buildELGraph installs the elimination edges of §IV-B: an edge X → Y exists
+// iff some output partition of X strictly dominates some partition of Y,
+// which for the coordinate boxes reduces to minC(X) < maxC(Y) in every
+// dimension. Complete elimination additionally requires minC(X) < minC(Y)
+// everywhere; both kinds produce the same edge (Fig. 6 a–b).
+func buildELGraph(regions []*region) {
+	// Two passes: count out-degrees first so edge slices are allocated
+	// exactly once (dense graphs otherwise churn the allocator).
+	counts := make([]int, len(regions))
+	for i, x := range regions {
+		for j, y := range regions {
+			if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+				counts[i]++
+				y.inDeg++
+			}
+		}
+	}
+	for i, x := range regions {
+		if counts[i] == 0 {
+			continue
+		}
+		x.out = make([]int, 0, counts[i])
+		for j, y := range regions {
+			if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+				x.out = append(x.out, y.id)
+			}
+		}
+	}
+}
+
+// completelyEliminates reports whether region X can completely eliminate
+// region Y (Fig. 6.a): every partition of Y is dominated by some partition
+// of X, i.e. minC(X) < minC(Y) in every dimension.
+func completelyEliminates(x, y *region) bool {
+	return coordsStrictlyBelow(x.minC, y.minC)
+}
+
+func coordsStrictlyBelow(a, b []int) bool {
+	for i := range a {
+		if a[i] >= b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// progCount implements Definition 2: the number of the region's cells that
+// can neither be eliminated nor have output dependencies on cells belonging
+// to other still-unprocessed regions — the cells whose early output depends
+// solely on this region's own tuple-level processing. Only active
+// (unfinalized, counted) cells can embody such a dependency, so the scan is
+// restricted to them.
+func progCount(s *space, r *region) int {
+	// The benefit model is an estimate (Eq. 1 is itself asymptotic), so the
+	// scan is budgeted: when the cells×active product exceeds the budget,
+	// the active set is strided — a sampled dependency check that keeps
+	// ranking cost bounded for huge regions.
+	const budget = 1 << 21
+	stride := 1
+	if len(r.cells) > 0 {
+		if work := len(r.cells) * len(s.active); work > budget {
+			stride = work / budget
+		}
+	}
+	count := 0
+	for _, flat := range r.cells {
+		c := s.cells[flat]
+		if c.marked || c.emitted {
+			continue
+		}
+		// The cell must receive tuples from no other unprocessed region.
+		if remainingExcluding(c, r) != 0 {
+			continue
+		}
+		free := true
+		for qi := 0; qi < len(s.active); qi += stride {
+			q := s.active[qi]
+			if q != c && grid.LeqAll(q.coords, c.coords) && remainingExcluding(q, r) != 0 {
+				free = false
+				break
+			}
+		}
+		if free {
+			count++
+		}
+	}
+	return count
+}
+
+// remainingExcluding returns how many unprocessed regions other than r still
+// cover the cell.
+func remainingExcluding(c *cell, r *region) int {
+	n := c.regCount
+	if r.state == regionLive && c.coveredByRegion(r.id) {
+		n--
+	}
+	return n
+}
+
+// analyse recomputes the benefit (Eq. 2), cost (Eq. 7) and rank (Eq. 8) of a
+// region — procedure analyse-Cost-vs-Benefit of Algorithm 1.
+func analyse(s *space, r *region, d, outputCells int) {
+	card := skyline.EstimateCardinality(float64(r.joinCard), d)
+	pc := progCount(s, r)
+	total := len(r.cells)
+	if total == 0 {
+		total = 1
+	}
+	r.benefit = float64(pc) / float64(total) * card
+
+	// Cost model, Equation 7. CPavg follows §IV-C's k·d comparable
+	// partitions; savg is the expected occupancy of a populated cell.
+	nanb := float64(r.a.len()) * float64(r.b.len())
+	jc := float64(r.joinCard)
+	cp := float64(outputCells * d)
+	savg := jc / float64(total)
+	if savg < 1 {
+		savg = 1
+	}
+	work := cp * savg
+	alpha := skyline.KungAlpha(d)
+	logTerm := 1.0
+	if work > 1 {
+		logTerm = math.Pow(math.Log2(work), alpha)
+	}
+	r.cost = nanb + jc + jc*work*logTerm
+	if r.cost <= 0 {
+		r.cost = 1
+	}
+	r.rank = r.benefit / r.cost
+}

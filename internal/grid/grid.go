@@ -1,0 +1,289 @@
+// Package grid provides the uniform multi-dimensional grid structure the
+// ProgXe framework partitions its input and output spaces with (§III). It
+// offers cell indexing, hyper-rectangle ("region") algebra, and the orthant
+// and slice relations between cells that drive elimination and dependency
+// reasoning.
+//
+// Cells are half-open boxes [lower, upper) except along the top boundary of
+// the space, where the last cell is closed so every point of the bounded
+// space belongs to exactly one cell. Cell coordinates are integer vectors;
+// a flat index linearizes them row-major.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Bounds is the bounding box of a d-dimensional space.
+type Bounds struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewBounds validates and returns a bounding box. Hi must be ≥ Lo in every
+// dimension; zero-width dimensions are widened by a small epsilon so that the
+// grid always has positive cell volume.
+func NewBounds(lo, hi []float64) (Bounds, error) {
+	if len(lo) != len(hi) {
+		return Bounds{}, fmt.Errorf("grid: bounds dimension mismatch: %d vs %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Bounds{}, fmt.Errorf("grid: bounds need at least one dimension")
+	}
+	l, h := slices.Clone(lo), slices.Clone(hi)
+	for i := range l {
+		if math.IsNaN(l[i]) || math.IsNaN(h[i]) || math.IsInf(l[i], 0) || math.IsInf(h[i], 0) {
+			return Bounds{}, fmt.Errorf("grid: bounds dimension %d is not finite", i)
+		}
+		if h[i] < l[i] {
+			return Bounds{}, fmt.Errorf("grid: bounds dimension %d inverted: [%g, %g]", i, l[i], h[i])
+		}
+		if h[i] == l[i] {
+			h[i] = l[i] + 1e-9
+		}
+	}
+	return Bounds{Lo: l, Hi: h}, nil
+}
+
+// BoundsOf computes the bounding box of a non-empty point set.
+func BoundsOf(pts [][]float64) (Bounds, error) {
+	if len(pts) == 0 {
+		return Bounds{}, fmt.Errorf("grid: cannot bound an empty point set")
+	}
+	lo := slices.Clone(pts[0])
+	hi := slices.Clone(pts[0])
+	for _, p := range pts[1:] {
+		for i, v := range p {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return NewBounds(lo, hi)
+}
+
+// Dims returns the dimensionality of the bounds.
+func (b Bounds) Dims() int { return len(b.Lo) }
+
+// Grid is a uniform partitioning of a bounded d-dimensional space into
+// cells-per-dimension k[i] half-open boxes.
+type Grid struct {
+	bounds Bounds
+	cells  []int     // cells per dimension
+	width  []float64 // cell width per dimension
+	stride []int     // row-major strides
+	total  int       // total number of cells
+}
+
+// New returns a grid over bounds with cells[i] cells along dimension i.
+func New(bounds Bounds, cells []int) (*Grid, error) {
+	if len(cells) != bounds.Dims() {
+		return nil, fmt.Errorf("grid: %d cell counts for %d dimensions", len(cells), bounds.Dims())
+	}
+	g := &Grid{
+		bounds: bounds,
+		cells:  slices.Clone(cells),
+		width:  make([]float64, bounds.Dims()),
+		stride: make([]int, bounds.Dims()),
+	}
+	total := 1
+	for i, k := range cells {
+		if k <= 0 {
+			return nil, fmt.Errorf("grid: dimension %d has %d cells; need ≥ 1", i, k)
+		}
+		if total > 1<<26/k {
+			return nil, fmt.Errorf("grid: too many cells (>%d)", 1<<26)
+		}
+		total *= k
+		g.width[i] = (bounds.Hi[i] - bounds.Lo[i]) / float64(k)
+	}
+	g.total = total
+	// Row-major strides: last dimension varies fastest.
+	s := 1
+	for i := bounds.Dims() - 1; i >= 0; i-- {
+		g.stride[i] = s
+		s *= cells[i]
+	}
+	return g, nil
+}
+
+// Uniform returns a grid with k cells along every dimension.
+func Uniform(bounds Bounds, k int) (*Grid, error) {
+	cells := make([]int, bounds.Dims())
+	for i := range cells {
+		cells[i] = k
+	}
+	return New(bounds, cells)
+}
+
+// Dims returns the dimensionality of the grid.
+func (g *Grid) Dims() int { return len(g.cells) }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.total }
+
+// CellsPerDim returns the number of cells along dimension i.
+func (g *Grid) CellsPerDim(i int) int { return g.cells[i] }
+
+// Bounds returns the grid's bounding box.
+func (g *Grid) Bounds() Bounds { return g.bounds }
+
+// Coord returns the cell coordinate of value v along dimension i, clamping
+// to the valid range so boundary and slightly-out-of-range points fall into
+// the nearest cell.
+func (g *Grid) Coord(i int, v float64) int {
+	c := int(math.Floor((v - g.bounds.Lo[i]) / g.width[i]))
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cells[i] {
+		c = g.cells[i] - 1
+	}
+	return c
+}
+
+// CellOf returns the flat index of the cell containing point p.
+func (g *Grid) CellOf(p []float64) int {
+	idx := 0
+	for i := range g.cells {
+		idx += g.Coord(i, p[i]) * g.stride[i]
+	}
+	return idx
+}
+
+// Coords decodes a flat cell index into per-dimension coordinates, writing
+// into dst (which must have length Dims()) and returning it.
+func (g *Grid) Coords(flat int, dst []int) []int {
+	for i := range g.cells {
+		dst[i] = flat / g.stride[i]
+		flat %= g.stride[i]
+	}
+	return dst
+}
+
+// Flat encodes per-dimension coordinates into a flat cell index.
+func (g *Grid) Flat(coords []int) int {
+	idx := 0
+	for i, c := range coords {
+		idx += c * g.stride[i]
+	}
+	return idx
+}
+
+// CellLower returns the lower corner point of the cell with the given
+// coordinates, writing into dst and returning it.
+func (g *Grid) CellLower(coords []int, dst []float64) []float64 {
+	for i, c := range coords {
+		dst[i] = g.bounds.Lo[i] + float64(c)*g.width[i]
+	}
+	return dst
+}
+
+// CellUpper returns the upper corner point of the cell with the given
+// coordinates, writing into dst and returning it.
+func (g *Grid) CellUpper(coords []int, dst []float64) []float64 {
+	for i, c := range coords {
+		dst[i] = g.bounds.Lo[i] + float64(c+1)*g.width[i]
+	}
+	return dst
+}
+
+// CellRect returns the bounding box of the flat-indexed cell.
+func (g *Grid) CellRect(flat int) Rect {
+	coords := make([]int, g.Dims())
+	g.Coords(flat, coords)
+	r := Rect{Lower: make([]float64, g.Dims()), Upper: make([]float64, g.Dims())}
+	g.CellLower(coords, r.Lower)
+	g.CellUpper(coords, r.Upper)
+	return r
+}
+
+// CoordRange returns the inclusive coordinate range [loC, hiC] of cells
+// overlapping interval [lo, hi] along dimension i.
+func (g *Grid) CoordRange(i int, lo, hi float64) (int, int) {
+	lc := g.Coord(i, lo)
+	// Upper endpoints that land exactly on a cell boundary belong to the
+	// lower cell (half-open cells), unless the interval is degenerate.
+	hc := g.Coord(i, hi)
+	if hi > lo {
+		boundary := g.bounds.Lo[i] + float64(hc)*g.width[i]
+		if hi == boundary && hc > lc {
+			hc--
+		}
+	}
+	return lc, hc
+}
+
+// CellsOverlapping appends to dst the flat indices of all cells that overlap
+// rectangle r, and returns dst. Cells touching r only at their shared
+// boundary on the upper side of r are excluded (half-open semantics).
+func (g *Grid) CellsOverlapping(r Rect, dst []int) []int {
+	d := g.Dims()
+	loC := make([]int, d)
+	hiC := make([]int, d)
+	for i := 0; i < d; i++ {
+		loC[i], hiC[i] = g.CoordRange(i, r.Lower[i], r.Upper[i])
+	}
+	coords := slices.Clone(loC)
+	for {
+		dst = append(dst, g.Flat(coords))
+		// Odometer increment.
+		i := d - 1
+		for ; i >= 0; i-- {
+			coords[i]++
+			if coords[i] <= hiC[i] {
+				break
+			}
+			coords[i] = loC[i]
+		}
+		if i < 0 {
+			return dst
+		}
+	}
+}
+
+// StrictlyBelow reports whether cell coordinates a are strictly smaller than
+// b in every dimension. A populated cell a with this property dominates every
+// tuple that maps into cell b (§III-B observation 2 / §V Set 1).
+func StrictlyBelow(a, b []int) bool {
+	for i := range a {
+		if a[i] >= b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SliceBelow reports whether cell coordinates a are ≤ b in every dimension
+// with equality in at least one: a tuple in a may dominate tuples in b, but
+// is not guaranteed to (§III-B observation 3 / §V Set 3). a == b is excluded.
+func SliceBelow(a, b []int) bool {
+	equal := true
+	anyEqualDim := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] == b[i]:
+			anyEqualDim = true
+		default:
+			equal = false
+		}
+	}
+	return anyEqualDim && !equal
+}
+
+// LeqAll reports whether a ≤ b in every dimension.
+func LeqAll(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

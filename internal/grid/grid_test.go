@@ -1,0 +1,237 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustBounds(t *testing.T, lo, hi []float64) Bounds {
+	t.Helper()
+	b, err := NewBounds(lo, hi)
+	if err != nil {
+		t.Fatalf("NewBounds: %v", err)
+	}
+	return b
+}
+
+func mustGrid(t *testing.T, b Bounds, k int) *Grid {
+	t.Helper()
+	g, err := Uniform(b, k)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	return g
+}
+
+func TestBoundsValidation(t *testing.T) {
+	if _, err := NewBounds([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := NewBounds(nil, nil); err == nil {
+		t.Fatal("empty bounds must error")
+	}
+	if _, err := NewBounds([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("inverted bounds must error")
+	}
+	b := mustBounds(t, []float64{5}, []float64{5})
+	if b.Hi[0] <= b.Lo[0] {
+		t.Fatal("degenerate dimension must be widened")
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	b, err := BoundsOf([][]float64{{1, 5}, {3, 2}, {2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lo[0] != 1 || b.Lo[1] != 2 || b.Hi[0] != 3 || b.Hi[1] != 8 {
+		t.Fatalf("BoundsOf = %+v", b)
+	}
+	if _, err := BoundsOf(nil); err == nil {
+		t.Fatal("empty point set must error")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0, 0}, []float64{10, 10}), 5)
+	if g.NumCells() != 25 || g.Dims() != 2 || g.CellsPerDim(0) != 5 {
+		t.Fatalf("grid shape wrong: %d cells", g.NumCells())
+	}
+	if _, err := New(mustBounds(t, []float64{0}, []float64{1}), []int{0}); err == nil {
+		t.Fatal("zero cells must error")
+	}
+	if _, err := New(mustBounds(t, []float64{0}, []float64{1}), []int{1, 2}); err == nil {
+		t.Fatal("cell count arity mismatch must error")
+	}
+}
+
+func TestCellOfBoundaries(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0, 0}, []float64{10, 10}), 5)
+	coords := make([]int, 2)
+	// Interior point.
+	g.Coords(g.CellOf([]float64{3.5, 7.2}), coords)
+	if coords[0] != 1 || coords[1] != 3 {
+		t.Fatalf("interior coords = %v", coords)
+	}
+	// Exact upper boundary clamps into the last cell.
+	g.Coords(g.CellOf([]float64{10, 10}), coords)
+	if coords[0] != 4 || coords[1] != 4 {
+		t.Fatalf("boundary coords = %v", coords)
+	}
+	// Out-of-range points clamp.
+	g.Coords(g.CellOf([]float64{-5, 99}), coords)
+	if coords[0] != 0 || coords[1] != 4 {
+		t.Fatalf("clamped coords = %v", coords)
+	}
+}
+
+func TestFlatCoordsRoundTrip(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0, 0, 0}, []float64{1, 1, 1}), 4)
+	coords := make([]int, 3)
+	for flat := 0; flat < g.NumCells(); flat++ {
+		g.Coords(flat, coords)
+		if got := g.Flat(coords); got != flat {
+			t.Fatalf("roundtrip %d -> %v -> %d", flat, coords, got)
+		}
+	}
+}
+
+func TestCellBoundsContainPoint(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0, 0}, []float64{8, 8}), 4)
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func() bool {
+		p := []float64{r.Float64() * 8, r.Float64() * 8}
+		rect := g.CellRect(g.CellOf(p))
+		return rect.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordRangeHalfOpen(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0}, []float64{10}), 5)
+	// [0, 2) is exactly cell 0; the upper endpoint on a boundary excludes
+	// the upper cell.
+	lo, hi := g.CoordRange(0, 0, 2)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("CoordRange(0,2) = [%d,%d]", lo, hi)
+	}
+	lo, hi = g.CoordRange(0, 1, 5)
+	if lo != 0 || hi != 2 {
+		t.Fatalf("CoordRange(1,5) = [%d,%d]", lo, hi)
+	}
+	// Degenerate interval stays in its containing cell.
+	lo, hi = g.CoordRange(0, 4, 4)
+	if lo != 2 || hi != 2 {
+		t.Fatalf("CoordRange(4,4) = [%d,%d]", lo, hi)
+	}
+}
+
+func TestCellsOverlapping(t *testing.T) {
+	g := mustGrid(t, mustBounds(t, []float64{0, 0}, []float64{10, 10}), 5)
+	r, err := NewRect([]float64{1, 1}, []float64{5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := g.CellsOverlapping(r, nil)
+	// x cells 0..2, y cells 0..1 -> 6 cells.
+	if len(cells) != 6 {
+		t.Fatalf("CellsOverlapping = %d cells: %v", len(cells), cells)
+	}
+	seen := map[int]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestOrthantRelations(t *testing.T) {
+	if !StrictlyBelow([]int{1, 1}, []int{2, 2}) {
+		t.Fatal("strictly below")
+	}
+	if StrictlyBelow([]int{1, 2}, []int{2, 2}) {
+		t.Fatal("tie is not strictly below")
+	}
+	if !SliceBelow([]int{1, 2}, []int{2, 2}) {
+		t.Fatal("slice below: ≤ with one equality")
+	}
+	if SliceBelow([]int{2, 2}, []int{2, 2}) {
+		t.Fatal("equal coords are not slice below")
+	}
+	if SliceBelow([]int{1, 1}, []int{2, 2}) {
+		t.Fatal("strict orthant is not slice below")
+	}
+	if SliceBelow([]int{3, 1}, []int{2, 2}) {
+		t.Fatal("incomparable is not slice below")
+	}
+	if !LeqAll([]int{1, 2}, []int{1, 2}) || LeqAll([]int{2, 1}, []int{1, 2}) {
+		t.Fatal("LeqAll wrong")
+	}
+}
+
+func TestOrthantPartition(t *testing.T) {
+	// For any pair of coordinate vectors with a ≤ b, exactly one of
+	// (equal, strictly-below, slice-below) holds.
+	r := rand.New(rand.NewPCG(3, 4))
+	f := func() bool {
+		a := []int{r.IntN(4), r.IntN(4), r.IntN(4)}
+		b := []int{r.IntN(4), r.IntN(4), r.IntN(4)}
+		if !LeqAll(a, b) {
+			return !StrictlyBelow(a, b) && !SliceBelow(a, b) || true // relations only defined under ≤; just ensure no panic
+		}
+		equal := a[0] == b[0] && a[1] == b[1] && a[2] == b[2]
+		n := 0
+		if equal {
+			n++
+		}
+		if StrictlyBelow(a, b) {
+			n++
+		}
+		if SliceBelow(a, b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	if _, err := NewRect([]float64{0, 0}, []float64{1}); err == nil {
+		t.Fatal("corner arity mismatch must error")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("inverted rect must error")
+	}
+	a, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	b, _ := NewRect([]float64{3, 3}, []float64{4, 4})
+	if !a.DominatesRect(b) {
+		t.Fatal("a's upper dominates b's lower")
+	}
+	if b.DominatesRect(a) {
+		t.Fatal("b cannot dominate a")
+	}
+	// Touching rects: upper == lower has no strict dimension.
+	c, _ := NewRect([]float64{2, 2}, []float64{4, 4})
+	if a.DominatesRect(c) {
+		t.Fatal("equal corner must not dominate")
+	}
+	if !a.Overlaps(c) || a.Overlaps(b) {
+		t.Fatal("overlap tests wrong")
+	}
+	u := a.Union(b)
+	if u.Lower[0] != 0 || u.Upper[1] != 4 {
+		t.Fatalf("union = %s", u)
+	}
+	if !a.UpperDominatesPoint([]float64{3, 3}) {
+		t.Fatal("upper (2,2) dominates (3,3)")
+	}
+	if a.String() == "" {
+		t.Fatal("rect must render")
+	}
+}

@@ -1,0 +1,406 @@
+// Package mapping implements the Map operator µ[F,X] of §II-B: a set of
+// user-defined functions that combine attributes from the two join sides
+// into the k-dimensional output space the skyline is evaluated over.
+//
+// Functions are expression trees over source attributes. Beyond point
+// evaluation, every expression supports:
+//
+//   - interval propagation — given the bounding boxes of an input partition
+//     pair, compute the output region the pair's join results must map into
+//     (the core of output-space look-ahead, §III-A, Example 1);
+//   - monotonicity analysis — per source attribute, whether the expression
+//     is (strictly) non-decreasing, (strictly) non-increasing, or mixed,
+//     which determines whether skyline partial push-through is sound on a
+//     source (§VI-B, ProgXe+).
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Side identifies which join input an attribute belongs to.
+type Side int8
+
+// Join sides.
+const (
+	Left  Side = 0
+	Right Side = 1
+)
+
+// String returns "L" or "R".
+func (s Side) String() string {
+	if s == Left {
+		return "L"
+	}
+	return "R"
+}
+
+// Direction classifies how an expression responds to increasing one input
+// attribute while everything else is fixed.
+type Direction int8
+
+// Monotonicity directions.
+const (
+	Unused    Direction = iota // attribute does not appear
+	NonDec                     // non-decreasing (weak)
+	StrictInc                  // strictly increasing
+	NonInc                     // non-increasing (weak)
+	StrictDec                  // strictly decreasing
+	Mixed                      // appears with conflicting directions
+)
+
+// String returns a short name for the direction.
+func (d Direction) String() string {
+	switch d {
+	case Unused:
+		return "unused"
+	case NonDec:
+		return "non-decreasing"
+	case StrictInc:
+		return "strictly-increasing"
+	case NonInc:
+		return "non-increasing"
+	case StrictDec:
+		return "strictly-decreasing"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Direction(%d)", int8(d))
+	}
+}
+
+// negate flips the direction (used under negation / subtraction).
+func (d Direction) negate() Direction {
+	switch d {
+	case NonDec:
+		return NonInc
+	case StrictInc:
+		return StrictDec
+	case NonInc:
+		return NonDec
+	case StrictDec:
+		return StrictInc
+	default:
+		return d
+	}
+}
+
+// weaken drops strictness (used under min/max, which are only weakly
+// monotone in each argument).
+func (d Direction) weaken() Direction {
+	switch d {
+	case StrictInc:
+		return NonDec
+	case StrictDec:
+		return NonInc
+	default:
+		return d
+	}
+}
+
+// combine merges the directions of the same attribute appearing in two
+// subexpressions that are added together.
+func (d Direction) combine(o Direction) Direction {
+	if d == Unused {
+		return o
+	}
+	if o == Unused {
+		return d
+	}
+	if d == Mixed || o == Mixed {
+		return Mixed
+	}
+	inc := func(x Direction) bool { return x == NonDec || x == StrictInc }
+	dec := func(x Direction) bool { return x == NonInc || x == StrictDec }
+	switch {
+	case inc(d) && inc(o):
+		if d == StrictInc || o == StrictInc {
+			return StrictInc
+		}
+		return NonDec
+	case dec(d) && dec(o):
+		if d == StrictDec || o == StrictDec {
+			return StrictDec
+		}
+		return NonInc
+	default:
+		return Mixed
+	}
+}
+
+// AttrRef names a source attribute: a side and a column index into that
+// side's numeric attribute vector.
+type AttrRef struct {
+	Side  Side
+	Index int
+}
+
+// Expr is a mapping-function expression tree node.
+type Expr interface {
+	// Eval computes the expression over one pair of attribute vectors.
+	Eval(left, right []float64) float64
+	// Interval computes a sound enclosure of the expression over the boxes
+	// [leftLo, leftHi] × [rightLo, rightHi].
+	Interval(leftLo, leftHi, rightLo, rightHi []float64) (lo, hi float64)
+	// directions merges each referenced attribute's direction into m.
+	directions(m map[AttrRef]Direction)
+	// String renders the expression.
+	String() string
+}
+
+// Attr references a source attribute.
+type Attr struct {
+	Ref  AttrRef
+	Name string // display name; optional
+}
+
+// A returns an attribute reference expression.
+func A(side Side, index int, name string) Attr {
+	return Attr{Ref: AttrRef{Side: side, Index: index}, Name: name}
+}
+
+// Eval implements Expr.
+func (a Attr) Eval(left, right []float64) float64 {
+	if a.Ref.Side == Left {
+		return left[a.Ref.Index]
+	}
+	return right[a.Ref.Index]
+}
+
+// Interval implements Expr.
+func (a Attr) Interval(leftLo, leftHi, rightLo, rightHi []float64) (float64, float64) {
+	if a.Ref.Side == Left {
+		return leftLo[a.Ref.Index], leftHi[a.Ref.Index]
+	}
+	return rightLo[a.Ref.Index], rightHi[a.Ref.Index]
+}
+
+func (a Attr) directions(m map[AttrRef]Direction) {
+	m[a.Ref] = m[a.Ref].combine(StrictInc)
+}
+
+func (a Attr) String() string {
+	if a.Name != "" {
+		return fmt.Sprintf("%s.%s", a.Ref.Side, a.Name)
+	}
+	return fmt.Sprintf("%s[%d]", a.Ref.Side, a.Ref.Index)
+}
+
+// Const is a numeric literal.
+type Const float64
+
+// Eval implements Expr.
+func (c Const) Eval(_, _ []float64) float64 { return float64(c) }
+
+// Interval implements Expr.
+func (c Const) Interval(_, _, _, _ []float64) (float64, float64) {
+	return float64(c), float64(c)
+}
+
+func (c Const) directions(map[AttrRef]Direction) {}
+
+func (c Const) String() string { return fmt.Sprintf("%g", float64(c)) }
+
+// Add is the sum of its terms — the mapping used by the paper's queries
+// ("an addition operation between the attribute-values", §VI-A).
+type Add []Expr
+
+// Sum returns the sum of the given expressions.
+func Sum(terms ...Expr) Add { return Add(terms) }
+
+// Eval implements Expr.
+func (a Add) Eval(left, right []float64) float64 {
+	s := 0.0
+	for _, e := range a {
+		s += e.Eval(left, right)
+	}
+	return s
+}
+
+// Interval implements Expr.
+func (a Add) Interval(ll, lh, rl, rh []float64) (float64, float64) {
+	lo, hi := 0.0, 0.0
+	for _, e := range a {
+		l, h := e.Interval(ll, lh, rl, rh)
+		lo += l
+		hi += h
+	}
+	return lo, hi
+}
+
+func (a Add) directions(m map[AttrRef]Direction) {
+	for _, e := range a {
+		e.directions(m)
+	}
+}
+
+func (a Add) String() string {
+	parts := make([]string, len(a))
+	for i, e := range a {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// Scale multiplies a subexpression by a constant factor (e.g. the
+// "2 * R.manTime" term of query Q1 or the Rome-vs-Paris walking weights of
+// Example 1 in the introduction).
+type Scale struct {
+	Factor float64
+	Of     Expr
+}
+
+// Eval implements Expr.
+func (s Scale) Eval(left, right []float64) float64 {
+	return s.Factor * s.Of.Eval(left, right)
+}
+
+// Interval implements Expr.
+func (s Scale) Interval(ll, lh, rl, rh []float64) (float64, float64) {
+	lo, hi := s.Of.Interval(ll, lh, rl, rh)
+	lo, hi = s.Factor*lo, s.Factor*hi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+func (s Scale) directions(m map[AttrRef]Direction) {
+	sub := make(map[AttrRef]Direction)
+	s.Of.directions(sub)
+	for ref, d := range sub {
+		switch {
+		case s.Factor > 0:
+			m[ref] = m[ref].combine(d)
+		case s.Factor < 0:
+			m[ref] = m[ref].combine(d.negate())
+		default:
+			// Factor 0: the subexpression is irrelevant.
+		}
+	}
+}
+
+func (s Scale) String() string { return fmt.Sprintf("%g*%s", s.Factor, s.Of) }
+
+// Sub is the difference lhs − rhs.
+type Sub struct {
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (s Sub) Eval(left, right []float64) float64 {
+	return s.L.Eval(left, right) - s.R.Eval(left, right)
+}
+
+// Interval implements Expr.
+func (s Sub) Interval(ll, lh, rl, rh []float64) (float64, float64) {
+	llo, lhi := s.L.Interval(ll, lh, rl, rh)
+	rlo, rhi := s.R.Interval(ll, lh, rl, rh)
+	return llo - rhi, lhi - rlo
+}
+
+func (s Sub) directions(m map[AttrRef]Direction) {
+	s.L.directions(m)
+	sub := make(map[AttrRef]Direction)
+	s.R.directions(sub)
+	for ref, d := range sub {
+		m[ref] = m[ref].combine(d.negate())
+	}
+}
+
+func (s Sub) String() string { return fmt.Sprintf("(%s - %s)", s.L, s.R) }
+
+// Min is the pointwise minimum of its arguments.
+type Min []Expr
+
+// Eval implements Expr.
+func (mn Min) Eval(left, right []float64) float64 {
+	v := mn[0].Eval(left, right)
+	for _, e := range mn[1:] {
+		if w := e.Eval(left, right); w < v {
+			v = w
+		}
+	}
+	return v
+}
+
+// Interval implements Expr.
+func (mn Min) Interval(ll, lh, rl, rh []float64) (float64, float64) {
+	lo, hi := mn[0].Interval(ll, lh, rl, rh)
+	for _, e := range mn[1:] {
+		l, h := e.Interval(ll, lh, rl, rh)
+		if l < lo {
+			lo = l
+		}
+		if h < hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}
+
+func (mn Min) directions(m map[AttrRef]Direction) {
+	for _, e := range mn {
+		sub := make(map[AttrRef]Direction)
+		e.directions(sub)
+		for ref, d := range sub {
+			m[ref] = m[ref].combine(d.weaken())
+		}
+	}
+}
+
+func (mn Min) String() string {
+	parts := make([]string, len(mn))
+	for i, e := range mn {
+		parts[i] = e.String()
+	}
+	return "min(" + strings.Join(parts, ", ") + ")"
+}
+
+// Max is the pointwise maximum of its arguments.
+type Max []Expr
+
+// Eval implements Expr.
+func (mx Max) Eval(left, right []float64) float64 {
+	v := mx[0].Eval(left, right)
+	for _, e := range mx[1:] {
+		if w := e.Eval(left, right); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// Interval implements Expr.
+func (mx Max) Interval(ll, lh, rl, rh []float64) (float64, float64) {
+	lo, hi := mx[0].Interval(ll, lh, rl, rh)
+	for _, e := range mx[1:] {
+		l, h := e.Interval(ll, lh, rl, rh)
+		if l > lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}
+
+func (mx Max) directions(m map[AttrRef]Direction) {
+	for _, e := range mx {
+		sub := make(map[AttrRef]Direction)
+		e.directions(sub)
+		for ref, d := range sub {
+			m[ref] = m[ref].combine(d.weaken())
+		}
+	}
+}
+
+func (mx Max) String() string {
+	parts := make([]string, len(mx))
+	for i, e := range mx {
+		parts[i] = e.String()
+	}
+	return "max(" + strings.Join(parts, ", ") + ")"
+}

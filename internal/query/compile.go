@@ -1,0 +1,184 @@
+package query
+
+import (
+	"fmt"
+
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// Compile binds the parsed query to the two source relations (matched by
+// table name or positional order) and produces a runnable smj.Problem with
+// selections already applied. The join condition must use each schema's
+// declared join attribute.
+func (q *Query) Compile(left, right *relation.Relation) (*smj.Problem, error) {
+	// Match relations to FROM entries by table name; fall back to position.
+	rels := map[string]*relation.Relation{}
+	if left.Schema.Name == q.From[1].Table || right.Schema.Name == q.From[0].Table {
+		left, right = right, left
+	}
+	if q.From[0].Table != left.Schema.Name && q.From[0].Table != "" {
+		// Positional binding: accept, but only if neither name matches.
+		if q.From[0].Table == right.Schema.Name || q.From[1].Table == left.Schema.Name {
+			return nil, fmt.Errorf("query: FROM tables %q, %q cannot be matched to relations %q, %q",
+				q.From[0].Table, q.From[1].Table, left.Schema.Name, right.Schema.Name)
+		}
+	}
+	rels[q.From[0].Alias] = left
+	rels[q.From[1].Alias] = right
+	sides := map[string]mapping.Side{
+		q.From[0].Alias: mapping.Left,
+		q.From[1].Alias: mapping.Right,
+	}
+
+	// Join condition must target the join attributes.
+	for _, j := range []struct {
+		alias, attr string
+	}{
+		{q.Join.LeftAlias, q.Join.LeftAttr},
+		{q.Join.RightAlias, q.Join.RightAttr},
+	} {
+		rel := rels[j.alias]
+		if rel.Schema.JoinAttr != j.attr {
+			return nil, fmt.Errorf("query: join attribute %s.%s does not match schema join column %q",
+				j.alias, j.attr, rel.Schema.JoinAttr)
+		}
+	}
+
+	// Mapping functions from the expression select items.
+	var funcs []mapping.Func
+	var prefAttrs []preference.Attribute
+	byName := map[string]int{}
+	for _, s := range q.Select {
+		if !s.IsExpr() {
+			continue // id pass-throughs are implicit in smj.Result
+		}
+		expr, err := compileExpr(s.Expr, rels, sides)
+		if err != nil {
+			return nil, fmt.Errorf("query: output %q: %w", s.Name, err)
+		}
+		byName[s.Name] = len(funcs)
+		funcs = append(funcs, mapping.Func{Name: s.Name, Expr: expr})
+	}
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("query: no mapping expressions in SELECT")
+	}
+
+	// Preference over the named outputs, in PREFERRING order; reorder the
+	// functions to match so output dimension j corresponds to preference j.
+	ordered := make([]mapping.Func, 0, len(q.Preferring))
+	used := map[string]bool{}
+	for _, pr := range q.Preferring {
+		idx, ok := byName[pr.Name]
+		if !ok || used[pr.Name] {
+			return nil, fmt.Errorf("query: PREFERRING references %q twice or unknown", pr.Name)
+		}
+		used[pr.Name] = true
+		ordered = append(ordered, funcs[idx])
+		prefAttrs = append(prefAttrs, preference.Attribute{Name: pr.Name, Order: pr.Order})
+	}
+	// Outputs that are selected but not preferred are still computed (they
+	// ride along as extra dimensions would change skyline semantics, so we
+	// reject them instead).
+	for name := range byName {
+		if !used[name] {
+			return nil, fmt.Errorf("query: output %q is not covered by PREFERRING; drop it or prefer it", name)
+		}
+	}
+	maps, err := mapping.NewSet(ordered...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-source filters.
+	preds := map[string]relation.And{}
+	for _, f := range q.Filters {
+		rel := rels[f.Alias]
+		if rel.Schema.Index(f.Attr) < 0 {
+			return nil, fmt.Errorf("query: filter references unknown attribute %s.%s", f.Alias, f.Attr)
+		}
+		preds[f.Alias] = append(preds[f.Alias], relation.AttrCmp{Attr: f.Attr, Op: f.Op, Const: f.Const})
+	}
+
+	p := &smj.Problem{
+		Left:  left,
+		Right: right,
+		Maps:  maps,
+		Pref:  preference.NewPareto(prefAttrs...),
+	}
+	var lp, rp relation.Predicate
+	if pr, ok := preds[q.From[0].Alias]; ok {
+		lp = pr
+	}
+	if pr, ok := preds[q.From[1].Alias]; ok {
+		rp = pr
+	}
+	p = smj.Apply(p, lp, rp)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compileExpr lowers an AST node to a mapping expression.
+func compileExpr(n Node, rels map[string]*relation.Relation, sides map[string]mapping.Side) (mapping.Expr, error) {
+	switch v := n.(type) {
+	case NumNode:
+		return mapping.Const(v), nil
+	case ColNode:
+		rel, ok := rels[v.Alias]
+		if !ok {
+			return nil, fmt.Errorf("unknown alias %q", v.Alias)
+		}
+		idx := rel.Schema.Index(v.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown attribute %s.%s", v.Alias, v.Attr)
+		}
+		return mapping.A(sides[v.Alias], idx, v.Attr), nil
+	case BinNode:
+		l, err := compileExpr(v.L, rels, sides)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(v.R, rels, sides)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case '+':
+			return mapping.Sum(l, r), nil
+		case '-':
+			return mapping.Sub{L: l, R: r}, nil
+		case '*':
+			if c, ok := l.(mapping.Const); ok {
+				if c2, ok2 := r.(mapping.Const); ok2 {
+					return mapping.Const(float64(c) * float64(c2)), nil
+				}
+				return mapping.Scale{Factor: float64(c), Of: r}, nil
+			}
+			if c, ok := r.(mapping.Const); ok {
+				return mapping.Scale{Factor: float64(c), Of: l}, nil
+			}
+			return nil, fmt.Errorf("multiplication requires a constant operand (got %s * %s)", l, r)
+		default:
+			return nil, fmt.Errorf("unsupported operator %q", string(v.Op))
+		}
+	case CallNode:
+		args := make([]mapping.Expr, len(v.Args))
+		for i, a := range v.Args {
+			e, err := compileExpr(a, rels, sides)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		if v.Fn == "min" {
+			return mapping.Min(args), nil
+		}
+		return mapping.Max(args), nil
+	default:
+		return nil, fmt.Errorf("unsupported expression node %T", n)
+	}
+}

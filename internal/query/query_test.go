@@ -1,0 +1,226 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"progxe/internal/baseline"
+	"progxe/internal/preference"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// q1 is query Q1 from §I of the paper.
+const q1 = `
+SELECT R.id, T.id,
+       (R.uPrice + T.uShipCost) AS tCost,
+       (2 * R.manTime + T.shipTime) AS delay
+FROM Suppliers R, Transporters T
+WHERE R.country = T.country AND R.manCap >= 100000
+PREFERRING LOWEST(tCost) AND LOWEST(delay)`
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatalf("Parse(Q1): %v", err)
+	}
+	if len(q.Select) != 4 {
+		t.Fatalf("select items = %d", len(q.Select))
+	}
+	if q.Select[0].IsExpr() || !q.Select[2].IsExpr() {
+		t.Fatal("select item classification wrong")
+	}
+	if q.Select[2].Name != "tCost" || q.Select[3].Name != "delay" {
+		t.Fatalf("output names = %q, %q", q.Select[2].Name, q.Select[3].Name)
+	}
+	if q.From[0].Table != "Suppliers" || q.From[1].Alias != "T" {
+		t.Fatalf("FROM = %+v", q.From)
+	}
+	if q.Join.LeftAttr != "country" || q.Join.RightAttr != "country" {
+		t.Fatalf("join = %+v", q.Join)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Op != relation.GE || q.Filters[0].Const != 100000 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if len(q.Preferring) != 2 || q.Preferring[0].Order != preference.Lowest {
+		t.Fatalf("preferring = %+v", q.Preferring)
+	}
+	// Round-trippable rendering.
+	if s := q.String(); !strings.Contains(s, "PREFERRING LOWEST(tCost) AND LOWEST(delay)") {
+		t.Fatalf("String = %q", s)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip changed query:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	q, err := Parse(`SELECT (MIN(R.a, T.b) + 2 * R.a - 1) AS score,
+		(MAX(R.a, 3) - T.b * 0.5) AS other
+		FROM X R, Y T WHERE R.k = T.k PREFERRING LOWEST(score) AND HIGHEST(other)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(q.Select[0].Expr)
+	if got != "((MIN(R.a, T.b) + (2 * R.a)) - 1)" {
+		t.Fatalf("precedence render = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT R.a FROM X R WHERE R.k = T.k PREFERRING LOWEST(a)",                           // one table
+		"SELECT (R.a) AS x FROM X R, Y T PREFERRING LOWEST(x)",                               // missing WHERE
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.a >= 1 PREFERRING LOWEST(x)",                // no join condition
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.k = T.k AND R.k = T.k PREFERRING LOWEST(x)", // duplicate join
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING",                         // empty preferring
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING LOWEST(y)",               // unknown output
+		"SELECT (R.a) AS x, (R.a) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING LOWEST(x)",   // dup name
+		"SELECT (Z.a) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING LOWEST(x)",               // unknown alias
+		"SELECT (R.a) AS x FROM X R, Y R WHERE R.k = R.k PREFERRING LOWEST(x)",               // dup alias
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING MIDDLE(x)",               // bad order
+		"SELECT (R.a * T.b) AS x FROM X R, Y T WHERE R.k = T.k PREFERRING LOWEST(x) extra",   // trailing
+		"SELECT (R.a) AS x FROM X R, Y T WHERE Z.a >= 1 AND R.k = T.k PREFERRING LOWEST(x)",  // filter alias
+		"SELECT (R.a) AS x FROM X R, Y T WHERE R.k ! T.k PREFERRING LOWEST(x)",               // bad char
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func supplyChainData(t *testing.T) (*relation.Relation, *relation.Relation) {
+	t.Helper()
+	r := relation.New(relation.MustSchema("Suppliers", []string{"uPrice", "manTime", "manCap"}, "country"))
+	tr := relation.New(relation.MustSchema("Transporters", []string{"uShipCost", "shipTime"}, "country"))
+	r.MustAppend(relation.Tuple{ID: 1, Vals: []float64{10, 5, 200000}, JoinKey: 1})
+	r.MustAppend(relation.Tuple{ID: 2, Vals: []float64{8, 9, 150000}, JoinKey: 1})
+	r.MustAppend(relation.Tuple{ID: 3, Vals: []float64{4, 2, 50000}, JoinKey: 1}) // filtered: capacity too low
+	r.MustAppend(relation.Tuple{ID: 4, Vals: []float64{6, 4, 300000}, JoinKey: 2})
+	tr.MustAppend(relation.Tuple{ID: 11, Vals: []float64{3, 7}, JoinKey: 1})
+	tr.MustAppend(relation.Tuple{ID: 12, Vals: []float64{5, 2}, JoinKey: 1})
+	tr.MustAppend(relation.Tuple{ID: 13, Vals: []float64{1, 9}, JoinKey: 2})
+	return r, tr
+}
+
+func TestCompileAndRunQ1(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr := supplyChainData(t)
+	p, err := q.Compile(r, tr)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// The filter must have removed supplier 3.
+	if p.Left.Len() != 3 {
+		t.Fatalf("filtered left size = %d", p.Left.Len())
+	}
+	res, err := baseline.Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("Q1 produced no results")
+	}
+	// Verify against hand-computed outputs: supplier 4 with transporter 13
+	// yields tCost 7, delay 17; supplier 1 with 12 yields tCost 15, delay 12;
+	// supplier 2 with 12 yields tCost 13, delay 20... check the skyline by
+	// brute force instead of pinning: no result may dominate another.
+	for i, a := range res {
+		for j, b := range res {
+			if i != j && p.Pref.Dominates(a.Out, b.Out) {
+				t.Fatalf("result %v dominates result %v", a, b)
+			}
+		}
+	}
+}
+
+func TestCompileRelationOrderIndependence(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr := supplyChainData(t)
+	p1, err := q.Compile(r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := q.Compile(tr, r) // swapped argument order
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := baseline.Oracle(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baseline.Oracle(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("swapped compile differs: %d vs %d results", len(a), len(b))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	r, tr := supplyChainData(t)
+	cases := []string{
+		// Join on a non-join column.
+		"SELECT (R.uPrice + T.uShipCost) AS c FROM Suppliers R, Transporters T WHERE R.uPrice = T.country PREFERRING LOWEST(c)",
+		// Unknown attribute in expression.
+		"SELECT (R.bogus + T.uShipCost) AS c FROM Suppliers R, Transporters T WHERE R.country = T.country PREFERRING LOWEST(c)",
+		// Unknown filter attribute.
+		"SELECT (R.uPrice) AS c FROM Suppliers R, Transporters T WHERE R.country = T.country AND R.bogus >= 1 PREFERRING LOWEST(c)",
+		// Column * column.
+		"SELECT (R.uPrice * T.uShipCost) AS c FROM Suppliers R, Transporters T WHERE R.country = T.country PREFERRING LOWEST(c)",
+		// No mapping outputs.
+		"SELECT R.id FROM Suppliers R, Transporters T WHERE R.country = T.country PREFERRING LOWEST(id)",
+	}
+	for _, s := range cases {
+		q, err := Parse(s)
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := q.Compile(r, tr); err == nil {
+			t.Errorf("Compile(%q): expected error", s)
+		}
+	}
+}
+
+func TestCompileHighestOrientation(t *testing.T) {
+	// HIGHEST outputs must invert dominance.
+	src := `SELECT (R.uPrice + T.uShipCost) AS cost, (R.manTime + T.shipTime) AS speed
+	        FROM Suppliers R, Transporters T WHERE R.country = T.country
+	        PREFERRING LOWEST(cost) AND HIGHEST(speed)`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr := supplyChainData(t)
+	p, err := q.Compile(r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All results incomparable under the stated preference.
+	for i, a := range res {
+		for j, b := range res {
+			if i != j && p.Pref.Dominates(a.Out, b.Out) {
+				t.Fatalf("dominated result emitted under HIGHEST preference")
+			}
+		}
+	}
+	var _ smj.Sink = (*smj.Collector)(nil)
+}

@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation with a header row:
+// id,<attr1>,...,<attrN>,<joinAttr>.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, r.Schema.Arity()+2)
+	header = append(header, "id")
+	header = append(header, r.Schema.Attrs...)
+	header = append(header, r.Schema.JoinAttr)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation %s: write header: %w", r.Schema.Name, err)
+	}
+	rec := make([]string, len(header))
+	for _, t := range r.Tuples {
+		rec[0] = strconv.FormatInt(t.ID, 10)
+		for i, v := range t.Vals {
+			rec[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatInt(t.JoinKey, 10)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation %s: write row %d: %w", r.Schema.Name, t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV. The header row determines
+// the attribute names; the first column must be "id" and the last column is
+// the join attribute.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: read header: %w", name, err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("relation %s: header needs at least id, one attribute, and a join column; got %d columns", name, len(header))
+	}
+	if header[0] != "id" {
+		return nil, fmt.Errorf("relation %s: first column must be %q, got %q", name, "id", header[0])
+	}
+	attrs := make([]string, len(header)-2)
+	copy(attrs, header[1:len(header)-1])
+	schema, err := NewSchema(name, attrs, header[len(header)-1])
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation %s: line %d: got %d fields, want %d", name, line, len(rec), len(header))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: line %d: bad id %q: %w", name, line, rec[0], err)
+		}
+		vals := make([]float64, len(attrs))
+		for i := range attrs {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: line %d: bad value %q for %s: %w", name, line, rec[i+1], attrs[i], err)
+			}
+			vals[i] = v
+		}
+		key, err := strconv.ParseInt(rec[len(rec)-1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: line %d: bad join key %q: %w", name, line, rec[len(rec)-1], err)
+		}
+		rel.Tuples = append(rel.Tuples, Tuple{ID: id, Vals: vals, JoinKey: key})
+	}
+	return rel, nil
+}

@@ -1,0 +1,174 @@
+// Package sig provides join-domain signatures for input partitions (§III-A).
+// A signature summarizes the set of join-key values present in a partition so
+// that partition pairs that cannot produce any join result are skipped
+// without touching tuples.
+//
+// Two realizations are provided, mirroring the paper's "Bloom Filter or a bit
+// vector" remark:
+//
+//   - Exact: a hash-set-backed exact signature. Intersection emptiness is
+//     exact in both directions, so a non-empty intersection *guarantees* at
+//     least one join result — the property ProgXe's domination-based region
+//     pruning relies on ("guaranteed to be populated").
+//   - Bloom: a split Bloom filter. A negative intersection test is reliable
+//     (definitely no join result); a positive one is only "maybe", so Bloom
+//     signatures alone must not be used to establish population guarantees.
+//
+// Exact signatures also carry per-value counts, which yields the exact join
+// cardinality of a partition pair — the σ·|IRa|·|ITb| term in the cost model
+// (Equations 4–5) without estimation error.
+package sig
+
+import (
+	"math/bits"
+)
+
+// Exact is an exact multiset signature of join-key values.
+type Exact struct {
+	counts map[int64]int
+	n      int // total tuples represented
+}
+
+// NewExact returns an empty exact signature.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[int64]int)}
+}
+
+// Add records one tuple with the given join key.
+func (e *Exact) Add(key int64) {
+	e.counts[key]++
+	e.n++
+}
+
+// Len returns the number of tuples represented.
+func (e *Exact) Len() int { return e.n }
+
+// DistinctKeys returns the number of distinct join keys.
+func (e *Exact) DistinctKeys() int { return len(e.counts) }
+
+// Count returns how many tuples carry the given join key.
+func (e *Exact) Count(key int64) int { return e.counts[key] }
+
+// MayJoin reports whether the two signatures share at least one join key.
+// For exact signatures the answer is precise: true means the corresponding
+// partition pair is guaranteed to produce at least one join result.
+func (e *Exact) MayJoin(other *Exact) bool {
+	a, b := e, other
+	if len(b.counts) < len(a.counts) {
+		a, b = b, a
+	}
+	for k := range a.counts {
+		if b.counts[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinCardinality returns the exact number of join results the two
+// partitions produce under an equi-join: Σ_v count_a(v)·count_b(v).
+func (e *Exact) JoinCardinality(other *Exact) int {
+	a, b := e, other
+	if len(b.counts) < len(a.counts) {
+		a, b = b, a
+	}
+	total := 0
+	for k, ca := range a.counts {
+		if cb := b.counts[k]; cb > 0 {
+			total += ca * cb
+		}
+	}
+	return total
+}
+
+// Bloom is a fixed-size Bloom filter over join keys. The zero value is not
+// usable; construct with NewBloom.
+type Bloom struct {
+	words []uint64
+	mask  uint64
+	k     int // hash functions
+	n     int // inserted keys (with multiplicity)
+}
+
+// NewBloom returns a Bloom filter with at least bitsHint bits (rounded up to
+// a power of two, minimum 64) and k hash functions (clamped to [1, 8]).
+func NewBloom(bitsHint, k int) *Bloom {
+	if bitsHint < 64 {
+		bitsHint = 64
+	}
+	nbits := 64
+	for nbits < bitsHint {
+		nbits <<= 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &Bloom{words: make([]uint64, nbits/64), mask: uint64(nbits - 1), k: k}
+}
+
+// splitmix64 is the finalizer used to derive independent hash values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts a join key.
+func (b *Bloom) Add(key int64) {
+	h1 := splitmix64(uint64(key))
+	h2 := splitmix64(h1)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		b.words[bit>>6] |= 1 << (bit & 63)
+	}
+	b.n++
+}
+
+// MayContain reports whether key may have been inserted (no false negatives).
+func (b *Bloom) MayContain(key int64) bool {
+	h1 := splitmix64(uint64(key))
+	h2 := splitmix64(h1)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		if b.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayIntersect reports whether the two filters may share a key. False means
+// definitely disjoint; true means "maybe". Both filters must have the same
+// size and hash count.
+func (b *Bloom) MayIntersect(other *Bloom) bool {
+	if len(b.words) != len(other.words) || b.k != other.k {
+		// Incomparable configurations: be conservative.
+		return true
+	}
+	// If the bitwise AND has fewer than k set bits, no single key can have
+	// all of its k bits present in both filters.
+	set := 0
+	for i, w := range b.words {
+		set += bits.OnesCount64(w & other.words[i])
+		if set >= b.k {
+			return true
+		}
+	}
+	return false
+}
+
+// FillRatio returns the fraction of set bits, a saturation diagnostic.
+func (b *Bloom) FillRatio() float64 {
+	set := 0
+	for _, w := range b.words {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(b.words)*64)
+}
+
+// Len returns the number of inserted keys (with multiplicity).
+func (b *Bloom) Len() int { return b.n }

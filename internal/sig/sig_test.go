@@ -1,0 +1,135 @@
+package sig
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactBasics(t *testing.T) {
+	e := NewExact()
+	if e.Len() != 0 || e.DistinctKeys() != 0 {
+		t.Fatal("fresh signature must be empty")
+	}
+	e.Add(5)
+	e.Add(5)
+	e.Add(7)
+	if e.Len() != 3 || e.DistinctKeys() != 2 || e.Count(5) != 2 || e.Count(9) != 0 {
+		t.Fatalf("counts wrong: len=%d distinct=%d", e.Len(), e.DistinctKeys())
+	}
+}
+
+func TestExactMayJoin(t *testing.T) {
+	a, b, c := NewExact(), NewExact(), NewExact()
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	c.Add(4)
+	if !a.MayJoin(b) || !b.MayJoin(a) {
+		t.Fatal("overlapping signatures must join")
+	}
+	if a.MayJoin(c) || c.MayJoin(a) {
+		t.Fatal("disjoint signatures must not join")
+	}
+}
+
+func TestExactJoinCardinality(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 8))
+	f := func() bool {
+		a, b := NewExact(), NewExact()
+		var av, bv []int64
+		for i := 0; i < r.IntN(40); i++ {
+			k := int64(r.IntN(10))
+			a.Add(k)
+			av = append(av, k)
+		}
+		for i := 0; i < r.IntN(40); i++ {
+			k := int64(r.IntN(10))
+			b.Add(k)
+			bv = append(bv, k)
+		}
+		brute := 0
+		for _, x := range av {
+			for _, y := range bv {
+				if x == y {
+					brute++
+				}
+			}
+		}
+		return a.JoinCardinality(b) == brute && b.JoinCardinality(a) == brute &&
+			a.MayJoin(b) == (brute > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(512, 3)
+	keys := []int64{1, 99, -7, 1 << 40, 0}
+	for _, k := range keys {
+		b.Add(k)
+	}
+	for _, k := range keys {
+		if !b.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if b.Len() != len(keys) {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBloomIntersect(t *testing.T) {
+	a := NewBloom(1024, 4)
+	b := NewBloom(1024, 4)
+	for i := int64(0); i < 20; i++ {
+		a.Add(i)
+		b.Add(i + 1000)
+	}
+	// Disjoint sets usually produce a negative intersection at this load.
+	// A positive answer is allowed (Bloom "maybe"), so only test the
+	// guaranteed direction: shared key -> must intersect.
+	b.Add(5)
+	if !a.MayIntersect(b) {
+		t.Fatal("filters sharing key 5 must possibly intersect")
+	}
+	// Mismatched configurations degrade to maybe.
+	c := NewBloom(64, 2)
+	if !a.MayIntersect(c) {
+		t.Fatal("incomparable filters must answer maybe")
+	}
+}
+
+func TestBloomDisjointDetection(t *testing.T) {
+	// With a large filter and few keys, clearly disjoint sets should be
+	// detected as disjoint (this is probabilistic but deterministic for
+	// fixed hashing and inputs).
+	a := NewBloom(4096, 4)
+	b := NewBloom(4096, 4)
+	a.Add(1)
+	a.Add(2)
+	b.Add(100001)
+	b.Add(100002)
+	if a.MayIntersect(b) {
+		t.Fatal("expected disjoint detection for sparse filters")
+	}
+	if a.FillRatio() <= 0 || a.FillRatio() >= 1 {
+		t.Fatalf("fill ratio = %g", a.FillRatio())
+	}
+}
+
+func TestBloomClamping(t *testing.T) {
+	b := NewBloom(1, 0)
+	if b.k != 1 {
+		t.Fatalf("k clamped to %d, want 1", b.k)
+	}
+	if len(b.words) != 1 {
+		t.Fatalf("bits clamped to %d words, want 1", len(b.words))
+	}
+	b2 := NewBloom(100, 99)
+	if b2.k != 8 {
+		t.Fatalf("k clamped to %d, want 8", b2.k)
+	}
+}

@@ -1,0 +1,99 @@
+package skyline
+
+import (
+	"sort"
+
+	"progxe/internal/preference"
+)
+
+// divideConquer implements the divide & conquer maxima algorithm of Kung,
+// Luccio and Preparata [2], adapted to minimizing dominance. Points are
+// sorted on the first coordinate, split in half, the halves are solved
+// recursively, and survivors of the "worse" half are filtered against
+// survivors of the "better" half.
+//
+// For d == 2 the merge is the classic linear sweep; for d ≥ 3 the filter
+// recurses on the projection that drops the first coordinate.
+func divideConquer(pts [][]float64) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := len(pts[0])
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort lexicographically on all coordinates so that among equal first
+	// coordinates ties resolve deterministically and duplicates stay adjacent.
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		for k := 0; k < d; k++ {
+			if pa[k] != pb[k] {
+				return pa[k] < pb[k]
+			}
+		}
+		return idx[a] < idx[b]
+	})
+	res := dcMaxima(pts, idx)
+	sort.Ints(res)
+	return res
+}
+
+// dcMaxima returns the skyline of the points referenced by idx, which must be
+// sorted ascending on coordinate 0 (lexicographic). The result preserves no
+// particular order.
+func dcMaxima(pts [][]float64, idx []int) []int {
+	if len(idx) <= 1 {
+		return append([]int(nil), idx...)
+	}
+	if len(idx) <= 8 {
+		return smallSkyline(pts, idx)
+	}
+	mid := len(idx) / 2
+	left := dcMaxima(pts, idx[:mid])  // better (smaller) first coordinates
+	right := dcMaxima(pts, idx[mid:]) // worse (larger) first coordinates
+	// Every left survivor is in the skyline of the union: nothing in the
+	// right half can dominate it on coordinate 0 except at equality, and
+	// lexicographic ordering puts equal-first-coordinate points that could
+	// dominate in the left half only if they dominate on remaining dims,
+	// which the recursive call on the left already resolved... equality
+	// cases across the split are handled by the full filter below.
+	right = filterAgainst(pts, right, left)
+	return append(left, right...)
+}
+
+// filterAgainst removes from cand the points dominated by any point in ref.
+func filterAgainst(pts [][]float64, cand, ref []int) []int {
+	out := cand[:0]
+	for _, c := range cand {
+		dominated := false
+		for _, r := range ref {
+			if preference.DominatesMin(pts[r], pts[c]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// smallSkyline solves tiny inputs by pairwise comparison.
+func smallSkyline(pts [][]float64, idx []int) []int {
+	out := make([]int, 0, len(idx))
+	for _, i := range idx {
+		dominated := false
+		for _, j := range idx {
+			if i != j && preference.DominatesMin(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

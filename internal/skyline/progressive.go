@@ -1,0 +1,66 @@
+package skyline
+
+import "sort"
+
+// Progressive computes the skyline of pts under minimizing dominance,
+// invoking emit for each skyline member as soon as it is proven final — the
+// single-set progressive semantics of Tan et al. [4] and Papadias et al. [5]
+// (§VII), realized on the sort-filter substrate: after sorting by a monotone
+// score no later point can dominate an earlier one, so every window survivor
+// is final the moment it survives the window comparison.
+//
+// It returns the skyline indices in emission order. For SkyMapJoin queries
+// this operator is still blocking (the join must complete before the sort,
+// the paper's §VII argument); it is provided as the single-source progressive
+// substrate.
+func Progressive(pts [][]float64, emit func(index int)) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	score := make([]float64, len(pts))
+	for i, p := range pts {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		score[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+
+	var result []int
+	window := make([]int, 0, 64)
+	for _, i := range order {
+		dominated := false
+		for _, j := range window {
+			if dominatesMin(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		window = append(window, i)
+		result = append(result, i)
+		if emit != nil {
+			emit(i)
+		}
+	}
+	return result
+}
+
+// dominatesMin is a local copy of the minimized dominance test so the hot
+// loop stays free of cross-package inlining hazards.
+func dominatesMin(a, b []float64) bool {
+	better := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			better = true
+		}
+	}
+	return better
+}

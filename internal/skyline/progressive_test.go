@@ -1,0 +1,60 @@
+package skyline
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestProgressiveMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(r, 80, 3, 6)
+		var emitted []int
+		got := Progressive(pts, func(i int) { emitted = append(emitted, i) })
+		if !reflect.DeepEqual(got, emitted) {
+			t.Fatal("returned indices must equal emitted ones")
+		}
+		sort.Ints(got)
+		want := Compute(SFS, pts)
+		if got == nil {
+			got = []int{}
+		}
+		if want == nil {
+			want = []int{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: progressive %v != batch %v", trial, got, want)
+		}
+	}
+}
+
+// TestProgressiveEmissionsFinal checks the defining property: at the moment
+// of emission, no point of the whole input dominates the emitted point.
+func TestProgressiveEmissionsFinal(t *testing.T) {
+	r := rand.New(rand.NewPCG(33, 34))
+	pts := randomPoints(r, 200, 3, 8)
+	Progressive(pts, func(i int) {
+		for j := range pts {
+			if j != i && dominatesMin(pts[j], pts[i]) {
+				t.Fatalf("emitted point %d is dominated by %d", i, j)
+			}
+		}
+	})
+}
+
+func TestProgressiveNilEmit(t *testing.T) {
+	pts := [][]float64{{1, 2}, {2, 1}, {3, 3}}
+	got := Progressive(pts, nil)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Progressive = %v", got)
+	}
+}
+
+func TestProgressiveEmpty(t *testing.T) {
+	if got := Progressive(nil, nil); len(got) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+}

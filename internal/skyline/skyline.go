@@ -1,0 +1,209 @@
+// Package skyline implements single-set skyline (Pareto-maxima) algorithms
+// used as substrates by the query engines: Block-Nested-Loops (BNL,
+// Börzsönyi et al. [1]), Sort-Filter-Skyline (SFS), and the divide & conquer
+// maxima algorithm of Kung, Luccio and Preparata [2]. It also provides the
+// Bentley/Buchta estimate of the expected skyline size used by the paper's
+// benefit model (Equation 1).
+//
+// All algorithms operate in canonical minimized space: a point a dominates b
+// iff a ≤ b componentwise with at least one strict inequality.
+package skyline
+
+import (
+	"math"
+	"sort"
+
+	"progxe/internal/preference"
+)
+
+// Algorithm selects a skyline implementation.
+type Algorithm int8
+
+// Available algorithms.
+const (
+	BNL Algorithm = iota
+	SFS
+	DC
+)
+
+// String returns the algorithm's conventional name.
+func (a Algorithm) String() string {
+	switch a {
+	case BNL:
+		return "BNL"
+	case SFS:
+		return "SFS"
+	case DC:
+		return "D&C"
+	default:
+		return "unknown"
+	}
+}
+
+// Compute returns the indices (into pts) of the skyline of pts under
+// minimizing dominance, using the selected algorithm. The returned indices
+// are in ascending order. Duplicate points are all retained (none dominates
+// another).
+func Compute(alg Algorithm, pts [][]float64) []int {
+	switch alg {
+	case SFS:
+		return sfs(pts)
+	case DC:
+		return divideConquer(pts)
+	default:
+		return bnl(pts)
+	}
+}
+
+// bnl is the classic block-nested-loops skyline with an unbounded window.
+func bnl(pts [][]float64) []int {
+	window := make([]int, 0, 64)
+	for i, p := range pts {
+		dominated := false
+		keep := window[:0]
+		for _, j := range window {
+			switch relate(pts[j], p) {
+			case preference.LeftDominates:
+				dominated = true
+			case preference.RightDominates:
+				continue // drop j from the window
+			}
+			keep = append(keep, j)
+			if dominated {
+				// p cannot remove later window entries once dominated.
+				keep = append(keep, window[len(keep):]...)
+				break
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// sfs sorts by an entropy-style monotone score first so that no point can be
+// dominated by a later point; every window survivor is final immediately.
+func sfs(pts [][]float64) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	score := make([]float64, len(pts))
+	for i, p := range pts {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		score[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+
+	window := make([]int, 0, 64)
+	for _, i := range order {
+		dominated := false
+		for _, j := range window {
+			if preference.DominatesMin(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// relate classifies dominance between two equal-length minimized vectors.
+func relate(a, b []float64) preference.Relation {
+	aBetter, bBetter := false, false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			aBetter = true
+		case a[i] > b[i]:
+			bBetter = true
+		}
+		if aBetter && bBetter {
+			return preference.Incomparable
+		}
+	}
+	switch {
+	case aBetter:
+		return preference.LeftDominates
+	case bBetter:
+		return preference.RightDominates
+	default:
+		return preference.Equal
+	}
+}
+
+// Filter returns the subset of candidate indices not dominated by any point
+// in pts[ref] for ref in refs; candidates are not compared to each other.
+func Filter(pts [][]float64, candidates, refs []int) []int {
+	out := candidates[:0:0]
+	for _, c := range candidates {
+		dominated := false
+		for _, r := range refs {
+			if preference.DominatesMin(pts[r], pts[c]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EstimateCardinality returns the Bentley [13] / Buchta [14] estimate of the
+// expected number of maxima among n independently distributed d-dimensional
+// points: (ln n)^(d-1) / (d-1)!  (Equation 1 of the paper). It returns at
+// least 1 for n ≥ 1 and 0 for n ≤ 0.
+func EstimateCardinality(n float64, d int) float64 {
+	if n <= 0 || d <= 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	ln := math.Log(n)
+	if d == 1 {
+		return 1
+	}
+	est := math.Pow(ln, float64(d-1)) / factorial(d-1)
+	if est < 1 {
+		est = 1
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}
+
+func factorial(k int) float64 {
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// KungAlpha returns the α exponent in Kung et al.'s average skyline
+// complexity O(|S|·log^α |S|): α = 1 for d ∈ {2,3} and α = d−2 for d ≥ 4
+// (§IV-C). For d ≤ 1 it returns 0.
+func KungAlpha(d int) float64 {
+	switch {
+	case d <= 1:
+		return 0
+	case d <= 3:
+		return 1
+	default:
+		return float64(d - 2)
+	}
+}

@@ -1,0 +1,94 @@
+package progxe_test
+
+import (
+	"testing"
+
+	"progxe"
+)
+
+func workload(t *testing.T) *progxe.Problem {
+	t.Helper()
+	left, right, err := progxe.GeneratePair(progxe.DataSpec{
+		N: 300, Dims: 3, Distribution: progxe.AntiCorrelated, Selectivity: 0.05, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := progxe.ParseQuery(`
+		SELECT (R.a0 + T.a0) AS x, (R.a1 + T.a1) AS y, (R.a2 + T.a2) AS z
+		FROM R R, T T
+		WHERE R.jkey = T.jkey
+		PREFERRING LOWEST(x) AND LOWEST(y) AND LOWEST(z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := q.Compile(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeEnd2End(t *testing.T) {
+	p := workload(t)
+	oracle, err := progxe.Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []progxe.Engine{
+		progxe.New(progxe.Options{}),
+		progxe.New(progxe.Options{PushThrough: true}),
+		progxe.NewJFSL(true),
+		progxe.NewSSMJ(true),
+		progxe.NewSAJ(),
+	}
+	for _, e := range engines {
+		var sink progxe.Collector
+		if _, err := e.Run(p, &sink); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(sink.Results) != len(oracle) {
+			t.Fatalf("%s: %d results, oracle %d", e.Name(), len(sink.Results), len(oracle))
+		}
+	}
+}
+
+func TestStream(t *testing.T) {
+	p := workload(t)
+	results, wait := progxe.Stream(progxe.New(progxe.Options{}), p)
+	n := 0
+	for range results {
+		n++
+	}
+	stats, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || stats.ResultCount != n {
+		t.Fatalf("streamed %d results, stats %d", n, stats.ResultCount)
+	}
+	oracle, err := progxe.Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(oracle) {
+		t.Fatalf("stream delivered %d, oracle %d", n, len(oracle))
+	}
+}
+
+func TestFacadeSchemaBuilders(t *testing.T) {
+	s, err := progxe.NewSchema("X", []string{"a"}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := progxe.NewRelation(s)
+	if r.Schema.Name != "X" {
+		t.Fatal("relation builder wrong")
+	}
+	if progxe.AllLowest(2).Dims() != 2 {
+		t.Fatal("preference builder wrong")
+	}
+	if _, err := progxe.Generate(progxe.DataSpec{N: 1, Dims: 1, Selectivity: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package progxe
+
+// Stream runs the engine in a separate goroutine and returns a channel of
+// progressively emitted results. The channel is closed when evaluation
+// completes; the returned wait function blocks until then and reports the
+// run's statistics and error.
+//
+//	results, wait := progxe.Stream(engine, problem)
+//	for r := range results {
+//	    render(r) // arrives as soon as it is provably final
+//	}
+//	stats, err := wait()
+func Stream(e Engine, p *Problem) (<-chan Result, func() (Stats, error)) {
+	out := make(chan Result, 64)
+	done := make(chan struct{})
+	var (
+		stats Stats
+		err   error
+	)
+	go func() {
+		defer close(done)
+		defer close(out)
+		stats, err = e.Run(p, SinkFunc(func(r Result) { out <- r }))
+	}()
+	return out, func() (Stats, error) {
+		<-done
+		return stats, err
+	}
+}
