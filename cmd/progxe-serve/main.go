@@ -1,0 +1,147 @@
+// Command progxe-serve runs the progressive query service: an HTTP server
+// that registers relations (synthetic specs or CSV uploads), evaluates
+// PREFERRING-dialect SkyMapJoin queries with a per-request engine choice,
+// and streams each skyline result to the client the moment the engine
+// proves it final — NDJSON by default, Server-Sent Events on request.
+//
+// Usage:
+//
+//	progxe-serve -addr :8080
+//	progxe-serve -addr :8080 -demo                 # preload R, T (anti-correlated pair)
+//	progxe-serve -load Suppliers=suppliers.csv \
+//	             -load Transporters=transporters.csv
+//
+// Then (see README.md for the full walkthrough):
+//
+//	curl -s localhost:8080/v1/query -d '{
+//	  "query": "SELECT (R.a0+T.a0) AS x, (R.a1+T.a1) AS y FROM R R, T T WHERE R.jkey = T.jkey PREFERRING LOWEST(x) AND LOWEST(y)"
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"progxe/internal/datagen"
+	"progxe/internal/relation"
+	"progxe/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "progxe-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the service. When ready is non-nil it receives the
+// bound listen address once the server is accepting connections (used by
+// tests binding port 0).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("progxe-serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		maxRuns    = fs.Int("max-concurrent", 0, "max concurrent engine runs (0 = default 8); excess queries get 429")
+		runTimeout = fs.Duration("run-timeout", 0, "per-run wall-clock cap (0 = default 60s, negative = unlimited)")
+		writeStall = fs.Duration("write-stall", 0, "per-record write deadline for stalled clients (0 = default 30s, negative = none)")
+		maxUpload  = fs.Int64("max-upload-bytes", 0, "CSV upload size cap in bytes (0 = default 64 MiB)")
+		defEngine  = fs.String("engine", "", "default engine for queries that name none (default progxe)")
+		demo       = fs.Bool("demo", false, "preload a demo workload: anti-correlated pair R, T (1000 rows, 3 dims)")
+		loads      []string
+	)
+	fs.Func("load", "preload a relation from CSV as name=path (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrentRuns: *maxRuns,
+		RunTimeout:        *runTimeout,
+		WriteStallTimeout: *writeStall,
+		MaxUploadBytes:    *maxUpload,
+		DefaultEngine:     *defEngine,
+	})
+
+	if *demo {
+		r, t, err := datagen.GeneratePair(datagen.Spec{
+			N: 1000, Dims: 3, Distribution: datagen.AntiCorrelated,
+			Selectivity: 0.01, Seed: 42,
+		})
+		if err != nil {
+			return err
+		}
+		for _, rel := range []*relation.Relation{r, t} {
+			if err := srv.Catalog().Register(rel); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "progxe-serve: preloaded %s (%d rows)\n", rel.Schema.Name, rel.Len())
+		}
+	}
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok {
+			return fmt.Errorf("-load wants name=path, got %q", l)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rel, err := relation.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := srv.Catalog().Register(rel); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "progxe-serve: loaded %s (%d rows) from %s\n", name, rel.Len(), path)
+	}
+
+	// Header/idle timeouts shed slow-loris connections; response writes are
+	// deadline-guarded per record inside the service (streams must be able
+	// to outlive any whole-response WriteTimeout).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: stop accepting, let streams drain briefly.
+	idle := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.CancelRuns() // abort in-flight streams so the drain can finish
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		idle <- hs.Shutdown(ctx)
+	}()
+
+	ln, err := listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "progxe-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if err := hs.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return <-idle
+}
+
+func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"progxe/internal/datagen"
+)
+
+// startServe runs the binary's run() on an ephemeral port and returns its
+// base URL; the server is shut down via SIGTERM at cleanup.
+func startServe(t *testing.T, args ...string) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), ready) }()
+	select {
+	case addr := <-ready:
+		t.Cleanup(func() {
+			syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Errorf("serve exited: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Error("server did not shut down on SIGTERM")
+			}
+		})
+		return "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	return ""
+}
+
+// TestServeDemoWorkflow boots the binary with the demo workload and drives
+// one query over real HTTP: health, catalog listing, progressive stream.
+func TestServeDemoWorkflow(t *testing.T) {
+	// Also exercise -load with a CSV written by the datagen substrate.
+	dir := t.TempDir()
+	rel := datagen.MustGenerate(datagen.Spec{Name: "Extra", N: 20, Dims: 2, Selectivity: 0.5, Seed: 9})
+	path := filepath.Join(dir, "extra.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	base := startServe(t, "-demo", "-load", "Extra="+path)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Relations []struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+		} `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]int{}
+	for _, r := range listing.Relations {
+		names[r.Name] = r.Rows
+	}
+	if names["R"] != 1000 || names["T"] != 1000 || names["Extra"] != 20 {
+		t.Fatalf("preloaded catalog = %v", names)
+	}
+
+	q := `{"query":"SELECT (R.a0+T.a0) AS x, (R.a1+T.a1) AS y FROM R R, T T WHERE R.jkey = T.jkey PREFERRING LOWEST(x) AND LOWEST(y)"}`
+	qresp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d", qresp.StatusCode)
+	}
+	var types []string
+	sc := bufio.NewScanner(qresp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		types = append(types, fmt.Sprint(m["type"]))
+	}
+	if len(types) < 3 || types[0] != "run" || types[1] != "result" || types[len(types)-1] != "stats" {
+		t.Fatalf("stream shape = %v", types)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-load", "nopath"}, nil); err == nil {
+		t.Fatal("-load without name=path must error")
+	}
+	if err := run([]string{"-load", "X=/does/not/exist.csv"}, nil); err == nil {
+		t.Fatal("-load with a missing file must error")
+	}
+	// A -load CSV that fails to parse must error too.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,relation\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", "X=" + bad}, nil); err == nil {
+		t.Fatal("unparseable -load CSV must error")
+	}
+}

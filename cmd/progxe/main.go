@@ -26,6 +26,7 @@ import (
 
 	"progxe"
 	"progxe/internal/core"
+	"progxe/internal/engines"
 	"progxe/internal/query"
 	"progxe/internal/relation"
 )
@@ -44,7 +45,7 @@ func run(args []string) error {
 		rightPath = fs.String("right", "", "CSV file for the second (right) source")
 		queryStr  = fs.String("query", "", "SkyMapJoin query in the PREFERRING dialect")
 		queryFile = fs.String("query-file", "", "read the query from a file instead")
-		engine    = fs.String("engine", "progxe", "engine: progxe | progxe+ | progxe-noorder | jfsl | jfsl+ | ssmj | saj")
+		engine    = fs.String("engine", "progxe", "engine: "+strings.Join(engines.Names(), " | "))
 		inCells   = fs.Int("input-cells", 0, "input grid cells per dimension (0 = auto)")
 		outCells  = fs.Int("output-cells", 0, "output grid cells per dimension (0 = auto)")
 		stats     = fs.Bool("stats", false, "print run statistics to stderr")
@@ -148,24 +149,5 @@ func pickEngine(name string, inCells, outCells int, trace bool) (progxe.Engine, 
 	if trace {
 		opts.Trace = func(e core.Event) { fmt.Fprintln(os.Stderr, "trace:", e) }
 	}
-	switch strings.ToLower(name) {
-	case "progxe":
-		return progxe.New(opts), nil
-	case "progxe+":
-		opts.PushThrough = true
-		return progxe.New(opts), nil
-	case "progxe-noorder":
-		opts.Ordering = core.OrderRandom
-		return progxe.New(opts), nil
-	case "jfsl":
-		return progxe.NewJFSL(false), nil
-	case "jfsl+":
-		return progxe.NewJFSL(true), nil
-	case "ssmj":
-		return progxe.NewSSMJ(false), nil
-	case "saj":
-		return progxe.NewSAJ(), nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q", name)
-	}
+	return engines.New(name, opts)
 }

@@ -1,0 +1,3 @@
+module progxe
+
+go 1.24

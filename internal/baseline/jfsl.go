@@ -7,6 +7,8 @@
 package baseline
 
 import (
+	"context"
+
 	"progxe/internal/join"
 	"progxe/internal/mapping"
 	"progxe/internal/skyline"
@@ -36,7 +38,18 @@ func (e *JFSL) Name() string {
 
 // Run implements smj.Engine.
 func (e *JFSL) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	return e.RunContext(context.Background(), p, sink)
+}
+
+var _ smj.ContextEngine = (*JFSL)(nil)
+
+// RunContext implements smj.ContextEngine: the join loop polls ctx and the
+// run aborts with ctx.Err() before the blocking skyline pass once canceled.
+// The skyline pass itself (skyline.Compute) is not interruptible — on large
+// join outputs that single phase bounds this engine's abort latency.
+func (e *JFSL) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
+	cancel := smj.NewCanceler(ctx)
 	cp, err := p.Canonicalized()
 	if err != nil {
 		return stats, err
@@ -44,9 +57,12 @@ func (e *JFSL) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	left, right := cp.Left, cp.Right
 	if e.PushThrough {
 		var nl, nr int
-		left, nl = smj.PushThrough(left, cp.Maps, mapping.Left)
-		right, nr = smj.PushThrough(right, cp.Maps, mapping.Right)
+		left, nl = smj.PushThroughContext(left, cp.Maps, mapping.Left, cancel)
+		right, nr = smj.PushThroughContext(right, cp.Maps, mapping.Right, cancel)
 		stats.PushPruned = nl + nr
+		if err := cancel.Now(); err != nil {
+			return stats, err
+		}
 	}
 
 	d := cp.Maps.Dims()
@@ -57,6 +73,9 @@ func (e *JFSL) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var pts [][]float64
 	buf := make([]float64, d)
 	stats.JoinResults = join.Hash(left.Tuples, right.Tuples, func(li, ri int) bool {
+		if cancel.Check() != nil {
+			return false
+		}
 		v := cp.Maps.Map(left.Tuples[li].Vals, right.Tuples[ri].Vals, buf)
 		out := make([]float64, d)
 		copy(out, v)
@@ -64,8 +83,14 @@ func (e *JFSL) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 		ids = append(ids, cand{left.Tuples[li].ID, right.Tuples[ri].ID})
 		return true
 	})
+	if err := cancel.Now(); err != nil {
+		return stats, err
+	}
 
 	sky := skyline.Compute(e.Algorithm, pts)
+	if err := cancel.Now(); err != nil {
+		return stats, err
+	}
 	stats.DomComparisons = estimateComparisons(len(pts), len(sky))
 	for _, i := range sky {
 		sink.Emit(smj.Result{

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 
 	"progxe/internal/mapping"
@@ -108,7 +109,16 @@ func (s *sortedSource) next(rel *relation.Relation) int {
 
 // Run implements smj.Engine.
 func (e *SAJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	return e.RunContext(context.Background(), p, sink)
+}
+
+var _ smj.ContextEngine = (*SAJ)(nil)
+
+// RunContext implements smj.ContextEngine: the round-robin sorted-access
+// loop polls ctx once per access round and aborts with ctx.Err().
+func (e *SAJ) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
+	cancel := smj.NewCanceler(ctx)
 	cp, err := p.Canonicalized()
 	if err != nil {
 		return stats, err
@@ -176,6 +186,9 @@ func (e *SAJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 
 	// Round-robin sorted access with incremental joining.
 	for !ls.exhausted() || !rs.exhausted() {
+		if err := cancel.Now(); err != nil {
+			return stats, err
+		}
 		if !ls.exhausted() {
 			li := ls.next(left)
 			for _, ri := range rs.seenByKey[left.Tuples[li].JoinKey] {

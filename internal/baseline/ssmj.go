@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 
 	"progxe/internal/join"
@@ -48,7 +49,17 @@ type ssmjCand struct {
 
 // Run implements smj.Engine.
 func (e *SSMJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	return e.RunContext(context.Background(), p, sink)
+}
+
+var _ smj.ContextEngine = (*SSMJ)(nil)
+
+// RunContext implements smj.ContextEngine: the quadratic active-list setup
+// and both join phases poll ctx and abort with ctx.Err() once the context
+// is done.
+func (e *SSMJ) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
+	cancel := smj.NewCanceler(ctx)
 	cp, err := p.Canonicalized()
 	if err != nil {
 		return stats, err
@@ -57,12 +68,18 @@ func (e *SSMJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	d := cp.Maps.Dims()
 
 	lsS := [2][]int{
-		sourceSkyline(left, cp.Maps, mapping.Left),
-		sourceSkyline(right, cp.Maps, mapping.Right),
+		sourceSkyline(left, cp.Maps, mapping.Left, cancel),
+		sourceSkyline(right, cp.Maps, mapping.Right, cancel),
+	}
+	if err := cancel.Now(); err != nil {
+		return stats, err
 	}
 	lsN := [2]map[int64][]int{
-		smj.GroupSkylines(left, cp.Maps, mapping.Left),
-		smj.GroupSkylines(right, cp.Maps, mapping.Right),
+		smj.GroupSkylinesContext(left, cp.Maps, mapping.Left, cancel),
+		smj.GroupSkylinesContext(right, cp.Maps, mapping.Right, cancel),
+	}
+	if err := cancel.Now(); err != nil {
+		return stats, err
 	}
 	stats.PushPruned = (left.Len() - countAll(lsN[0])) + (right.Len() - countAll(lsN[1]))
 
@@ -96,9 +113,15 @@ func (e *SSMJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	lTuples := pick(left, lsS[0])
 	rTuples := pick(right, lsS[1])
 	join.Hash(lTuples.idx2tuple, rTuples.idx2tuple, func(a, b int) bool {
+		if cancel.Check() != nil {
+			return false
+		}
 		insert(lTuples.orig[a], rTuples.orig[b], 1)
 		return true
 	})
+	if err := cancel.Now(); err != nil {
+		return stats, err
+	}
 
 	emitted := make(map[*ssmjCand]bool)
 	if !e.Strict {
@@ -117,6 +140,9 @@ func (e *SSMJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	lAll := pickGroups(left, lsN[0])
 	rAll := pickGroups(right, lsN[1])
 	join.Hash(lAll.idx2tuple, rAll.idx2tuple, func(a, b int) bool {
+		if cancel.Check() != nil {
+			return false
+		}
 		li, ri := lAll.orig[a], rAll.orig[b]
 		if inS[0][li] && inS[1][ri] {
 			return true // already produced in phase 1
@@ -124,6 +150,9 @@ func (e *SSMJ) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 		insert(li, ri, 2)
 		return true
 	})
+	if err := cancel.Now(); err != nil {
+		return stats, err
+	}
 
 	// Final batch: everything still alive and not yet reported.
 	for _, c := range cands {
@@ -149,8 +178,9 @@ func (e *SSMJ) emit(p *smj.Problem, sink smj.Sink, c *ssmjCand, stats *smj.Stats
 // sourceSkyline computes LS(S): the indices of tuples not dominated by any
 // other tuple of the same source under the mapping monotonicity plan,
 // ignoring join keys. With mixed monotonicity no pruning is possible and
-// every tuple is in the list.
-func sourceSkyline(rel *relation.Relation, maps *mapping.Set, side mapping.Side) []int {
+// every tuple is in the list. The O(n²) scan polls cancel and returns a
+// truncated (unusable) list once canceled — the caller aborts right after.
+func sourceSkyline(rel *relation.Relation, maps *mapping.Set, side mapping.Side, cancel *smj.Canceler) []int {
 	plan, err := maps.PushThrough(side)
 	if err != nil || len(plan.Attrs) == 0 {
 		all := make([]int, rel.Len())
@@ -161,6 +191,9 @@ func sourceSkyline(rel *relation.Relation, maps *mapping.Set, side mapping.Side)
 	}
 	var out []int
 	for i := range rel.Tuples {
+		if cancel.Check() != nil {
+			return out
+		}
 		dominated := false
 		for j := range rel.Tuples {
 			if i != j && plan.Dominates(rel.Tuples[j].Vals, rel.Tuples[i].Vals) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -145,7 +146,19 @@ func (e *Engine) partition(rel *relation.Relation, maps *mapping.Set, side mappi
 // progressive result determination, repeated until every region is processed
 // or eliminated.
 func (e *Engine) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	return e.RunContext(context.Background(), p, sink)
+}
+
+var _ smj.ContextEngine = (*Engine)(nil)
+
+// RunContext is Run with cooperative cancellation: the framework loop polls
+// ctx between region selections and inside tuple-level processing, aborting
+// with ctx.Err() and the partial stats once the context is done. Results
+// emitted before the abort are final skyline members; the stream is merely
+// truncated.
+func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
+	cancel := smj.NewCanceler(ctx)
 	cp, d, err := checkProblem(p)
 	if err != nil {
 		return stats, err
@@ -154,9 +167,12 @@ func (e *Engine) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 
 	if e.opts.PushThrough {
 		var prunedL, prunedR int
-		left, prunedL = smj.PushThrough(left, cp.Maps, mapping.Left)
-		right, prunedR = smj.PushThrough(right, cp.Maps, mapping.Right)
+		left, prunedL = smj.PushThroughContext(left, cp.Maps, mapping.Left, cancel)
+		right, prunedR = smj.PushThroughContext(right, cp.Maps, mapping.Right, cancel)
 		stats.PushPruned = prunedL + prunedR
+		if err := cancel.Now(); err != nil {
+			return stats, err
+		}
 	}
 
 	lparts, err := e.partition(left, cp.Maps, mapping.Left)
@@ -196,6 +212,7 @@ func (e *Engine) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 		stats:    &stats,
 		d:        d,
 		outCells: outCells,
+		cancel:   cancel,
 	}
 	if e.opts.Trace != nil {
 		s.traceEmit = func(c *cell, n int) {
@@ -228,6 +245,7 @@ type runState struct {
 	queue    regionQueue
 	order    []*region // fixed order for random/arrival policies
 	orderPos int
+	cancel   *smj.Canceler
 
 	mapBuf   []float64
 	roundNew [][]float64 // surviving vectors inserted by the current region
@@ -258,6 +276,9 @@ func (r *runState) loop() error {
 	}
 
 	for r.live > 0 {
+		if err := r.cancel.Now(); err != nil {
+			return err
+		}
 		reg := r.next()
 		if reg == nil {
 			return fmt.Errorf("core: no region to schedule with %d live regions", r.live)
@@ -266,7 +287,9 @@ func (r *runState) loop() error {
 			continue
 		}
 		r.emitTrace(Event{Kind: EventRegionChosen, Region: reg.id, Rank: reg.rank})
-		r.process(reg)
+		if err := r.process(reg); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -329,8 +352,9 @@ func (r *runState) analyseRegion(reg *region) {
 }
 
 // process runs tuple-level processing (§III-B) for one region, then the
-// progressive determination cascade and the Algorithm 1 graph updates.
-func (r *runState) process(reg *region) {
+// progressive determination cascade and the Algorithm 1 graph updates. A
+// non-nil error means the run was canceled mid-region and must abort.
+func (r *runState) process(reg *region) error {
 	reg.state = regionProcessed
 	r.live--
 	r.roundNew = r.roundNew[:0]
@@ -338,6 +362,9 @@ func (r *runState) process(reg *region) {
 
 	lt, rt := reg.a.tuples, reg.b.tuples
 	r.stats.JoinResults += join.Hash(lt, rt, func(li, ri int) bool {
+		if r.cancel.Check() != nil {
+			return false
+		}
 		v := r.problem.Maps.Map(lt[li].Vals, rt[ri].Vals, r.mapBuf)
 		c := r.space.cellAt(r.space.g.CellOf(v))
 		if c == nil {
@@ -350,6 +377,10 @@ func (r *runState) process(reg *region) {
 		}
 		return true
 	})
+
+	if err := r.cancel.Now(); err != nil {
+		return err
+	}
 
 	r.emitTrace(Event{
 		Kind:        EventRegionProcessed,
@@ -380,6 +411,7 @@ func (r *runState) process(reg *region) {
 	// Algorithm 1, Lines 10–19: release out-edges, update benefits of
 	// queued targets, enqueue new roots.
 	r.releaseEdges(reg)
+	return nil
 }
 
 // discard eliminates a live region without processing it: its cells'

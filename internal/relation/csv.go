@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -76,6 +77,12 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 			v, err := strconv.ParseFloat(rec[i+1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("relation %s: line %d: bad value %q for %s: %w", name, line, rec[i+1], attrs[i], err)
+			}
+			// Dominance over NaN/Inf is meaningless and non-finite values
+			// cannot round-trip through JSON result streams; reject at the
+			// boundary.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("relation %s: line %d: non-finite value %q for %s", name, line, rec[i+1], attrs[i])
 			}
 			vals[i] = v
 		}

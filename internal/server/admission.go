@@ -1,0 +1,37 @@
+package server
+
+// admission is the run admission controller: a counting semaphore bounding
+// the number of engine runs executing concurrently. Acquisition is
+// non-blocking — a full service sheds load immediately (HTTP 429) instead of
+// queueing streams behind each other, which would destroy the
+// time-to-first-result property the service exists to provide.
+type admission struct {
+	slots chan struct{}
+}
+
+func newAdmission(maxConcurrent int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = defaultMaxConcurrentRuns
+	}
+	return &admission{slots: make(chan struct{}, maxConcurrent)}
+}
+
+// tryAcquire claims a run slot without blocking. On success it returns a
+// release function (idempotent, safe to defer).
+func (a *admission) tryAcquire() (release func(), ok bool) {
+	select {
+	case a.slots <- struct{}{}:
+		released := false
+		return func() {
+			if !released {
+				released = true
+				<-a.slots
+			}
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// capacity returns the configured slot count.
+func (a *admission) capacity() int { return cap(a.slots) }

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"progxe/internal/relation"
+)
+
+// Catalog is the concurrency-safe relation registry of the progressive query
+// service. Relations are treated as immutable once registered — the engine
+// contract requires inputs to stay frozen for the duration of a run — so
+// replacing a name installs a new *Relation while in-flight runs keep
+// evaluating against the snapshot they resolved at admission time.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]*relation.Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]*relation.Relation)}
+}
+
+// validName reports whether a relation name can appear as a table name in
+// the PREFERRING dialect (identifier: letter or underscore, then letters,
+// digits, underscores).
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register installs rel under its schema name, replacing any previous
+// relation of that name.
+func (c *Catalog) Register(rel *relation.Relation) error {
+	return c.RegisterCapped(rel, 0, 0)
+}
+
+// ErrCatalogFull reports a registration rejected by a catalog resource cap.
+type ErrCatalogFull struct{ Reason string }
+
+func (e ErrCatalogFull) Error() string { return "catalog: " + e.Reason }
+
+// RegisterCapped is Register refusing registrations that would push the
+// catalog past maxEntries relations or maxRows total resident rows (0
+// disables either cap) — together they bound the memory network clients can
+// pin. Replacing an existing name is allowed as long as the row budget
+// still holds. The checks and the insert run under one lock, so concurrent
+// registrations cannot overshoot.
+func (c *Catalog) RegisterCapped(rel *relation.Relation, maxEntries, maxRows int) error {
+	if rel == nil || rel.Schema == nil {
+		return fmt.Errorf("catalog: nil relation")
+	}
+	name := rel.Schema.Name
+	if !validName(name) {
+		return fmt.Errorf("catalog: relation name %q is not a valid identifier", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, replacing := c.rels[name]; !replacing && maxEntries > 0 && len(c.rels) >= maxEntries {
+		return ErrCatalogFull{Reason: fmt.Sprintf("already holds %d relations; delete one first", maxEntries)}
+	}
+	if maxRows > 0 {
+		total := rel.Len()
+		for n, r := range c.rels {
+			if n != name {
+				total += r.Len()
+			}
+		}
+		if total > maxRows {
+			return ErrCatalogFull{Reason: fmt.Sprintf("registering %d rows would exceed the %d-row budget; delete a relation first", rel.Len(), maxRows)}
+		}
+	}
+	c.rels[name] = rel
+	return nil
+}
+
+// Get resolves a relation by name.
+func (c *Catalog) Get(name string) (*relation.Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rel, ok := c.rels[name]
+	return rel, ok
+}
+
+// Remove deletes a relation, reporting whether it existed.
+func (c *Catalog) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.rels[name]
+	delete(c.rels, name)
+	return ok
+}
+
+// Len returns the number of registered relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rels)
+}
+
+// RelationInfo describes one catalog entry for listings.
+type RelationInfo struct {
+	Name     string   `json:"name"`
+	Attrs    []string `json:"attrs"`
+	JoinAttr string   `json:"joinAttr"`
+	Rows     int      `json:"rows"`
+}
+
+// List returns the catalog contents sorted by name.
+func (c *Catalog) List() []RelationInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]RelationInfo, 0, len(c.rels))
+	for name, rel := range c.rels {
+		out = append(out, RelationInfo{
+			Name:     name,
+			Attrs:    append([]string(nil), rel.Schema.Attrs...),
+			JoinAttr: rel.Schema.JoinAttr,
+			Rows:     rel.Len(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,17 @@
+package server
+
+import (
+	"progxe/internal/core"
+	"progxe/internal/engines"
+	"progxe/internal/smj"
+)
+
+// NewEngine constructs the engine registered under name with default
+// options — the service-side view of the shared internal/engines registry
+// (the progxe CLI resolves -engine through the same table).
+func NewEngine(name string) (smj.Engine, error) {
+	return engines.New(name, core.Options{})
+}
+
+// EngineNames returns the engine names accepted by the query endpoint.
+func EngineNames() []string { return engines.Names() }

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ttfrBuckets are the upper bounds (seconds) of the time-to-first-result
+// histogram — the service-level progressiveness metric. Counts are
+// cumulative, Prometheus-style: bucket i counts runs whose first result
+// arrived within ttfrBuckets[i].
+var ttfrBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics aggregates service counters. All methods are safe for concurrent
+// use; reads return consistent snapshots.
+type metrics struct {
+	mu              sync.Mutex
+	runsStarted     int64
+	runsActive      int64
+	runsCompleted   int64
+	runsCanceled    int64
+	runsFailed      int64
+	runsRejected    int64
+	resultsStreamed int64
+	ttfrCounts      []int64 // len(ttfrBuckets)+1; last is +Inf
+	ttfrSum         float64 // seconds
+	ttfrObserved    int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{ttfrCounts: make([]int64, len(ttfrBuckets)+1)}
+}
+
+func (m *metrics) runStarted() {
+	m.mu.Lock()
+	m.runsStarted++
+	m.runsActive++
+	m.mu.Unlock()
+}
+
+// runOutcome classifies how a run ended.
+type runOutcome int
+
+const (
+	runCompleted runOutcome = iota
+	runCanceled
+	runFailed
+)
+
+func (m *metrics) runFinished(o runOutcome, results int64) {
+	m.mu.Lock()
+	m.runsActive--
+	switch o {
+	case runCompleted:
+		m.runsCompleted++
+	case runCanceled:
+		m.runsCanceled++
+	case runFailed:
+		m.runsFailed++
+	}
+	m.resultsStreamed += results
+	m.mu.Unlock()
+}
+
+func (m *metrics) runRejected() {
+	m.mu.Lock()
+	m.runsRejected++
+	m.mu.Unlock()
+}
+
+// observeTTFR records the time-to-first-result of one run.
+func (m *metrics) observeTTFR(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	m.ttfrObserved++
+	m.ttfrSum += s
+	i := 0
+	for i < len(ttfrBuckets) && s > ttfrBuckets[i] {
+		i++
+	}
+	m.ttfrCounts[i]++
+	m.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket of a Snapshot.
+type Bucket struct {
+	LE    float64 `json:"le"` // upper bound in seconds; +Inf encoded as 0 with Inf=true
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"` // cumulative
+}
+
+// Snapshot is a point-in-time view of the service counters, shaped for the
+// JSON stats endpoint.
+type Snapshot struct {
+	RunsStarted     int64    `json:"runsStarted"`
+	RunsActive      int64    `json:"runsActive"`
+	RunsCompleted   int64    `json:"runsCompleted"`
+	RunsCanceled    int64    `json:"runsCanceled"`
+	RunsFailed      int64    `json:"runsFailed"`
+	RunsRejected    int64    `json:"runsRejected"`
+	ResultsStreamed int64    `json:"resultsStreamed"`
+	TTFRObserved    int64    `json:"ttfrObserved"`
+	TTFRSumSeconds  float64  `json:"ttfrSumSeconds"`
+	TTFR            []Bucket `json:"ttfr"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		RunsStarted:     m.runsStarted,
+		RunsActive:      m.runsActive,
+		RunsCompleted:   m.runsCompleted,
+		RunsCanceled:    m.runsCanceled,
+		RunsFailed:      m.runsFailed,
+		RunsRejected:    m.runsRejected,
+		ResultsStreamed: m.resultsStreamed,
+		TTFRObserved:    m.ttfrObserved,
+		TTFRSumSeconds:  m.ttfrSum,
+	}
+	cum := int64(0)
+	for i, le := range ttfrBuckets {
+		cum += m.ttfrCounts[i]
+		s.TTFR = append(s.TTFR, Bucket{LE: le, Count: cum})
+	}
+	cum += m.ttfrCounts[len(ttfrBuckets)]
+	s.TTFR = append(s.TTFR, Bucket{Inf: true, Count: cum})
+	return s
+}
+
+// writePrometheus renders the counters in the Prometheus text exposition
+// format (stdlib only — no client library dependency).
+func (m *metrics) writePrometheus(w io.Writer) {
+	s := m.snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("progxe_runs_started_total", "Engine runs admitted.", s.RunsStarted)
+	counter("progxe_runs_completed_total", "Engine runs that ran to completion.", s.RunsCompleted)
+	counter("progxe_runs_canceled_total", "Engine runs aborted by disconnect, timeout, or limit.", s.RunsCanceled)
+	counter("progxe_runs_failed_total", "Engine runs that returned an error.", s.RunsFailed)
+	counter("progxe_runs_rejected_total", "Query requests shed by the admission controller.", s.RunsRejected)
+	counter("progxe_results_streamed_total", "Results streamed to clients.", s.ResultsStreamed)
+	fmt.Fprintf(w, "# HELP progxe_runs_active Engine runs currently executing.\n# TYPE progxe_runs_active gauge\nprogxe_runs_active %d\n", s.RunsActive)
+	fmt.Fprintf(w, "# HELP progxe_ttfr_seconds Time to first streamed result.\n# TYPE progxe_ttfr_seconds histogram\n")
+	for _, b := range s.TTFR {
+		le := "+Inf"
+		if !b.Inf {
+			le = fmt.Sprintf("%g", b.LE)
+		}
+		fmt.Fprintf(w, "progxe_ttfr_seconds_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(w, "progxe_ttfr_seconds_sum %g\n", s.TTFRSumSeconds)
+	fmt.Fprintf(w, "progxe_ttfr_seconds_count %d\n", s.TTFRObserved)
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"progxe/internal/query"
+	"progxe/internal/smj"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Query is the SkyMapJoin query in the PREFERRING dialect. FROM table
+	// names are resolved against the relation catalog.
+	Query string `json:"query"`
+	// Engine selects the evaluation engine (see GET /v1/engines). Empty
+	// picks the server default.
+	Engine string `json:"engine,omitempty"`
+	// Format is "ndjson" (default) or "sse". An Accept: text/event-stream
+	// header also selects SSE.
+	Format string `json:"format,omitempty"`
+	// TimeoutMillis caps this run's duration; it is clamped to the server's
+	// RunTimeout. 0 inherits the server cap.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Limit stops the run after this many results (0 = stream everything).
+	// The truncated stream still only contains final skyline members.
+	Limit int `json:"limit,omitempty"`
+}
+
+// runRecord heads every stream: the resolved engine and output dimensions.
+type runRecord struct {
+	Type   string   `json:"type"` // "run"
+	Engine string   `json:"engine"`
+	Dims   []string `json:"dims"`
+}
+
+// resultRecord carries one progressively emitted result.
+type resultRecord struct {
+	Type          string    `json:"type"` // "result"
+	Seq           int       `json:"seq"`
+	LeftID        int64     `json:"leftId"`
+	RightID       int64     `json:"rightId"`
+	Out           []float64 `json:"out"`
+	ElapsedMillis float64   `json:"elapsedMillis"`
+}
+
+// statsRecord trails every stream, reporting how the run ended.
+type statsRecord struct {
+	Type          string    `json:"type"` // "stats"
+	Engine        string    `json:"engine"`
+	Results       int       `json:"results"`
+	ElapsedMillis float64   `json:"elapsedMillis"`
+	TTFRMillis    float64   `json:"ttfrMillis,omitempty"`
+	Canceled      bool      `json:"canceled,omitempty"`
+	Reason        string    `json:"reason,omitempty"` // disconnect | timeout | limit | shutdown
+	Error         string    `json:"error,omitempty"`
+	EngineStats   smj.Stats `json:"engineStats"`
+}
+
+// streamWriter abstracts the two wire formats (NDJSON lines, SSE frames).
+// Records are flushed individually: each result reaches the client socket
+// the moment the engine emits it. Each record write runs under a rolling
+// deadline (stall) so a connected-but-stalled reader cannot block the
+// handler — and thereby the engine run — indefinitely; the first failed
+// write reports through onFail (which cancels the run) and silences the
+// rest of the stream.
+type streamWriter struct {
+	w      http.ResponseWriter
+	f      http.Flusher
+	rc     *http.ResponseController
+	stall  time.Duration
+	onFail func()
+	sse    bool
+	fail   bool // a write failed; the client is gone or stalled
+}
+
+func (sw *streamWriter) begin() {
+	if sw.sse {
+		sw.w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		sw.w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	sw.w.Header().Set("Cache-Control", "no-store")
+	sw.w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	sw.w.WriteHeader(http.StatusOK)
+}
+
+// record writes one record of the given event type and flushes it.
+func (sw *streamWriter) record(event string, v any) {
+	if sw.fail {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		// A value error (e.g. a non-finite float escaping the engine math),
+		// not a connection error: drop this record but keep the stream —
+		// the stats trailer must still reach the client.
+		return
+	}
+	if sw.stall > 0 {
+		// Rolling per-record deadline; reset by end() after the stream.
+		_ = sw.rc.SetWriteDeadline(time.Now().Add(sw.stall))
+	}
+	if sw.sse {
+		_, err = fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", event, b)
+	} else {
+		_, err = fmt.Fprintf(sw.w, "%s\n", b)
+	}
+	if err != nil {
+		sw.failed()
+		return
+	}
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
+func (sw *streamWriter) failed() {
+	sw.fail = true
+	if sw.onFail != nil {
+		sw.onFail()
+	}
+}
+
+// end clears the rolling write deadline so a keep-alive connection is not
+// poisoned for its next request.
+func (sw *streamWriter) end() {
+	if sw.stall > 0 {
+		_ = sw.rc.SetWriteDeadline(time.Time{})
+	}
+}
+
+// handleQuery admits, compiles, and executes one query, streaming results
+// progressively until the run completes, errors, hits the limit, times out,
+// or the client disconnects — the latter three through context cancellation
+// of the smj.ContextEngine contract.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+
+	// An explicit format in the body wins; the Accept header only decides
+	// when the body names none.
+	if req.Format != "" && !strings.EqualFold(req.Format, "sse") && !strings.EqualFold(req.Format, "ndjson") {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want ndjson or sse)", req.Format)
+		return
+	}
+	sse := strings.EqualFold(req.Format, "sse") ||
+		(req.Format == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream"))
+
+	engineName := req.Engine
+	if engineName == "" {
+		engineName = s.cfg.DefaultEngine
+	}
+	engine, err := s.cfg.NewEngine(engineName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission precedes compilation: Compile copies relation-sized data
+	// (selection push-down), so unadmitted requests must not reach it —
+	// otherwise a burst bypasses the resource bound the controller exists
+	// to provide.
+	release, ok := s.adm.tryAcquire()
+	if !ok {
+		s.metrics.runRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"all %d run slots are busy; retry shortly", s.adm.capacity())
+		return
+	}
+	defer release()
+
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resolve FROM table names against the catalog. The snapshot taken here
+	// stays valid for the whole run even if the catalog entry is replaced.
+	left, ok := s.catalog.Get(q.From[0].Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[0].Table)
+		return
+	}
+	right, ok := s.catalog.Get(q.From[1].Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[1].Table)
+		return
+	}
+	p, err := q.Compile(left, right)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The run context: client disconnect cancels it via r.Context();
+	// timeouts and the result limit cancel it explicitly.
+	ctx := r.Context()
+	timeout := s.cfg.RunTimeout
+	if req.TimeoutMillis > 0 {
+		ms := req.TimeoutMillis
+		// Clamp before multiplying: a huge value would overflow to a
+		// negative Duration and disable the server's cap entirely.
+		if ms > int64(time.Duration(1<<62)/time.Millisecond) {
+			ms = int64(time.Duration(1<<62) / time.Millisecond)
+		}
+		if t := time.Duration(ms) * time.Millisecond; timeout < 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	// Service shutdown aborts in-flight runs so graceful drains finish
+	// within their window instead of waiting out every stream.
+	defer context.AfterFunc(s.runCtx, cancelRun)()
+
+	sw := &streamWriter{
+		w: w, sse: sse,
+		rc:     http.NewResponseController(w),
+		stall:  s.cfg.WriteStallTimeout,
+		onFail: cancelRun,
+	}
+	sw.f, _ = w.(http.Flusher)
+	defer sw.end()
+	sw.begin()
+	sw.record("run", runRecord{Type: "run", Engine: engine.Name(), Dims: p.Maps.Names()})
+
+	s.metrics.runStarted()
+	start := time.Now()
+	var (
+		seq      int
+		ttfr     time.Duration
+		limitHit bool
+		finished bool
+	)
+	// Balance the runsActive gauge even if the engine panics (net/http
+	// recovers handler panics, so without this the gauge would leak).
+	defer func() {
+		if !finished {
+			s.metrics.runFinished(runFailed, int64(seq))
+		}
+	}()
+	sink := smj.SinkFunc(func(res smj.Result) {
+		if limitHit {
+			return
+		}
+		seq++
+		if seq == 1 {
+			ttfr = time.Since(start)
+			s.metrics.observeTTFR(ttfr)
+		}
+		sw.record("result", resultRecord{
+			Type: "result", Seq: seq,
+			LeftID: res.LeftID, RightID: res.RightID, Out: res.Out,
+			ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		if req.Limit > 0 && seq >= req.Limit {
+			limitHit = true
+			cancelRun()
+		}
+	})
+	engineStats, runErr := smj.RunContext(ctx, engine, p, sink)
+	elapsed := time.Since(start)
+
+	rec := statsRecord{
+		Type: "stats", Engine: engine.Name(), Results: seq,
+		ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
+		TTFRMillis:    float64(ttfr.Microseconds()) / 1000,
+		EngineStats:   engineStats,
+	}
+	outcome := runCompleted
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded):
+		outcome = runCanceled
+		rec.Canceled = true
+		switch {
+		case limitHit:
+			rec.Reason = "limit"
+		case errors.Is(runErr, context.DeadlineExceeded):
+			rec.Reason = "timeout"
+		case s.runCtx.Err() != nil:
+			rec.Reason = "shutdown"
+		default:
+			rec.Reason = "disconnect"
+		}
+	default:
+		outcome = runFailed
+		rec.Error = runErr.Error()
+	}
+	finished = true
+	s.metrics.runFinished(outcome, int64(seq))
+	sw.record("stats", rec)
+}

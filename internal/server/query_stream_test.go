@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"progxe/internal/smj"
+)
+
+// decodeNDJSON reads a whole NDJSON stream into generic records.
+func decodeNDJSON(t *testing.T, r io.Reader) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty stream")
+	}
+	return recs
+}
+
+// readRecord reads one NDJSON record from a live stream.
+func readRecord(t *testing.T, br *bufio.Reader) map[string]any {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading stream: %v (got %q)", err, line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("bad record %q: %v", line, err)
+	}
+	return m
+}
+
+// TestNDJSONStreamsBeforeRunCompletes pins the streaming order without any
+// timing assumptions: the client observes the first result while the engine
+// run is provably still blocked inside the server.
+func TestNDJSONStreamsBeforeRunCompletes(t *testing.T) {
+	g := newGatedEngine()
+	srv, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	run := readRecord(t, br)
+	if run["type"] != "run" || run["engine"] != "gated" {
+		t.Fatalf("first record = %v", run)
+	}
+	first := readRecord(t, br)
+	if first["type"] != "result" || first["seq"] != float64(1) || first["leftId"] != float64(10) {
+		t.Fatalf("second record = %v", first)
+	}
+	// The first result is in hand while the run is still executing.
+	if st := srv.Stats(); st.RunsActive != 1 {
+		t.Fatalf("runsActive = %d while holding the first result, want 1", st.RunsActive)
+	}
+
+	close(g.proceed)
+	second := readRecord(t, br)
+	if second["type"] != "result" || second["seq"] != float64(2) {
+		t.Fatalf("third record = %v", second)
+	}
+	stats := readRecord(t, br)
+	if stats["type"] != "stats" || stats["canceled"] == true {
+		t.Fatalf("trailing record = %v", stats)
+	}
+	if _, err := br.ReadString('\n'); err != io.EOF {
+		t.Fatalf("stream not terminated after stats record: %v", err)
+	}
+}
+
+// TestExplicitFormatBeatsAcceptHeader pins the negotiation precedence: a
+// body asking for NDJSON stays NDJSON even when the client's HTTP stack
+// volunteers an SSE Accept header.
+func TestExplicitFormatBeatsAcceptHeader(t *testing.T) {
+	g := newGatedEngine()
+	close(g.proceed)
+	_, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	b, _ := json.Marshal(QueryRequest{Query: tinyQuery, Format: "ndjson"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, explicit ndjson must win over Accept", ct)
+	}
+	decodeNDJSON(t, resp.Body)
+}
+
+// TestSSEStreaming verifies the Server-Sent Events framing end to end.
+func TestSSEStreaming(t *testing.T) {
+	g := newGatedEngine()
+	close(g.proceed) // run straight through
+	_, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, Format: "sse"})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	type frame struct {
+		event string
+		data  map[string]any
+	}
+	var frames []frame
+	var cur frame
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		case line == "":
+			frames = append(frames, cur)
+			cur = frame{}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames, want run + 2 results + stats", len(frames))
+	}
+	wantEvents := []string{"run", "result", "result", "stats"}
+	for i, f := range frames {
+		if f.event != wantEvents[i] || f.data["type"] != wantEvents[i] {
+			t.Fatalf("frame %d = %q %v, want %q", i, f.event, f.data, wantEvents[i])
+		}
+	}
+	if frames[1].data["seq"] != float64(1) || frames[2].data["seq"] != float64(2) {
+		t.Fatalf("result frames out of order: %v", frames)
+	}
+}
+
+// TestClientDisconnectCancelsRun proves the tentpole cancellation property
+// deterministically: the client walks away mid-stream and the blocked engine
+// run is aborted through its context, observable in the service stats.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	g := newGatedEngine()
+	srv, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
+	br := bufio.NewReader(resp.Body)
+	readRecord(t, br) // run record
+	readRecord(t, br) // first result; the engine is now blocked on proceed
+	resp.Body.Close() // disconnect — never close g.proceed
+
+	st := waitForStats(t, srv, "disconnect cancellation", func(s Snapshot) bool {
+		return s.RunsCanceled == 1 && s.RunsActive == 0
+	})
+	if st.RunsCompleted != 0 || st.RunsFailed != 0 {
+		t.Fatalf("stats after disconnect = %+v", st)
+	}
+}
+
+// TestCancelRunsAbortsInFlightStreams covers graceful shutdown: CancelRuns
+// must abort a blocked engine run, letting the stream finish with a
+// canceled stats trailer instead of waiting out its timeout.
+func TestCancelRunsAbortsInFlightStreams(t *testing.T) {
+	g := newGatedEngine()
+	srv, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readRecord(t, br) // run record
+	readRecord(t, br) // first result; the engine now blocks on proceed
+
+	srv.CancelRuns()
+	stats := readRecord(t, br)
+	if stats["type"] != "stats" || stats["canceled"] != true || stats["reason"] != "shutdown" {
+		t.Fatalf("post-shutdown record = %v", stats)
+	}
+	if _, err := br.ReadString('\n'); err != io.EOF {
+		t.Fatalf("stream not terminated: %v", err)
+	}
+	if st := srv.Stats(); st.RunsCanceled != 1 || st.RunsActive != 0 {
+		t.Fatalf("stats after CancelRuns = %+v", st)
+	}
+}
+
+// spinEngine emits results as fast as possible until its context is done —
+// an adversarial producer for write-path tests.
+type spinEngine struct{}
+
+func (spinEngine) Name() string { return "spin" }
+
+func (e spinEngine) Run(p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	return e.RunContext(context.Background(), p, sink)
+}
+
+func (spinEngine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
+	for i := 0; ; i++ {
+		if err := ctx.Err(); err != nil {
+			return smj.Stats{}, err
+		}
+		sink.Emit(smj.Result{LeftID: int64(i), Out: []float64{0, 0}})
+	}
+}
+
+// TestStalledClientCancelsRun covers the slow-loris streaming case: a
+// client that stays connected but stops reading. Once the socket buffers
+// fill, the rolling write deadline fails the blocked record write, which
+// cancels the run and frees its admission slot.
+func TestStalledClientCancelsRun(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		WriteStallTimeout: 200 * time.Millisecond,
+		NewEngine:         func(string) (smj.Engine, error) { return spinEngine{}, nil },
+	})
+	body, _ := json.Marshal(QueryRequest{Query: tinyQuery})
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/query HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body)
+	// Read just the status line, then stall — never read again, never close.
+	if _, err := bufio.NewReaderSize(conn, 64).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	waitForStats(t, srv, "stalled-client cancellation", func(s Snapshot) bool {
+		return s.RunsCanceled == 1 && s.RunsActive == 0
+	})
+}
+
+// TestQueryLimitTruncatesRun verifies that a result limit cancels the rest
+// of the run and is reported as such. The gated engine pins the order: it
+// would block forever after its first result, so the stream can only
+// terminate through the limit-triggered cancellation.
+func TestQueryLimitTruncatesRun(t *testing.T) {
+	g := newGatedEngine()
+	srv, ts := newTestServer(t, Config{
+		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+	})
+	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, Limit: 1})
+	defer resp.Body.Close()
+	recs := decodeNDJSON(t, resp.Body)
+	nResults := 0
+	for _, r := range recs {
+		if r["type"] == "result" {
+			nResults++
+		}
+	}
+	last := recs[len(recs)-1]
+	if nResults != 1 || last["type"] != "stats" {
+		t.Fatalf("limit=1 stream:\n%s", fmtRecords(recs))
+	}
+	if last["canceled"] != true || last["reason"] != "limit" {
+		t.Fatalf("stats record = %v", last)
+	}
+	waitForStats(t, srv, "limit cancel accounting", func(s Snapshot) bool {
+		return s.RunsCanceled == 1 && s.ResultsStreamed == 1
+	})
+}
+
+// e2eWorkload registers, via the HTTP API, a generated two-source workload
+// heavy enough that a ProgXe run takes much longer than one client
+// round-trip, and returns the matching query.
+func e2eWorkload(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	for _, spec := range []string{
+		`{"name":"R","rows":5000,"dims":3,"distribution":"anti-correlated","selectivity":0.02,"seed":11}`,
+		`{"name":"T","rows":5000,"dims":3,"distribution":"anti-correlated","selectivity":0.02,"seed":12}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/relations", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("generate: status %d", resp.StatusCode)
+		}
+	}
+	return `SELECT (R.a0 + T.a0) AS x, (R.a1 + T.a1) AS y, (R.a2 + T.a2) AS z
+		FROM R R, T T WHERE R.jkey = T.jkey
+		PREFERRING LOWEST(x) AND LOWEST(y) AND LOWEST(z)`
+}
+
+// TestEndToEndProgressiveHTTP is the acceptance test for the subsystem: with
+// the real ProgXe engine on a generated workload, the client receives the
+// first NDJSON result while the engine run is still active (progressiveness
+// as an end-to-end property), and the completed stream carries the full
+// result set plus a trailing stats record.
+func TestEndToEndProgressiveHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe"})
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+
+	run := readRecord(t, br)
+	if run["type"] != "run" || run["engine"] != "ProgXe" {
+		t.Fatalf("run record = %v", run)
+	}
+	first := readRecord(t, br)
+	if first["type"] != "result" || first["seq"] != float64(1) {
+		t.Fatalf("first streamed record = %v", first)
+	}
+	// The client holds the first result; the engine must still be running.
+	if st := srv.Stats(); st.RunsActive != 1 {
+		t.Fatalf("runsActive = %d after first result, want 1 (run already over?)", st.RunsActive)
+	}
+
+	// Drain the rest: monotonically increasing seq, then the stats trailer.
+	results := 1
+	var last map[string]any
+	for {
+		rec := readRecord(t, br)
+		if rec["type"] == "stats" {
+			last = rec
+			break
+		}
+		results++
+		if rec["seq"] != float64(results) {
+			t.Fatalf("result %d has seq %v", results, rec["seq"])
+		}
+	}
+	if last["canceled"] == true || last["error"] != nil {
+		t.Fatalf("stats trailer = %v", last)
+	}
+	if float64(results) != last["results"].(float64) || results < 10 {
+		t.Fatalf("drained %d results, trailer says %v", results, last["results"])
+	}
+	es := last["engineStats"].(map[string]any)
+	if es["JoinResults"].(float64) <= 0 {
+		t.Fatalf("engine stats missing join work: %v", es)
+	}
+	// Server-side timestamps agree: the first result left long before the
+	// run finished.
+	if first["elapsedMillis"].(float64) >= last["elapsedMillis"].(float64) {
+		t.Fatalf("first result at %vms, run ended at %vms", first["elapsedMillis"], last["elapsedMillis"])
+	}
+
+	waitForStats(t, srv, "run completion", func(s Snapshot) bool {
+		return s.RunsActive == 0 && s.RunsCompleted == 1 && s.ResultsStreamed == int64(results)
+	})
+}
+
+// TestEndToEndDisconnectCancelsRealRun closes the acceptance loop on
+// cancellation with the real engine: dropping the connection mid-stream
+// aborts the ProgXe run, observable via the stats endpoint.
+func TestEndToEndDisconnectCancelsRealRun(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe"})
+	br := bufio.NewReader(resp.Body)
+	readRecord(t, br) // run record
+	rec := readRecord(t, br)
+	if rec["type"] != "result" {
+		t.Fatalf("expected a result before disconnecting, got %v", rec)
+	}
+	resp.Body.Close()
+
+	waitForStats(t, srv, "real-engine disconnect cancellation", func(s Snapshot) bool {
+		return s.RunsCanceled == 1 && s.RunsActive == 0
+	})
+}

@@ -1,0 +1,333 @@
+// Package server is the progressive query service: an HTTP subsystem that
+// turns the ProgXe library into a network-facing system while preserving its
+// defining property — skyline-over-join results are streamed to the client
+// the moment the engine proves them final, not when the run completes.
+//
+// The service holds a concurrency-safe relation catalog (populated from
+// synthetic-data specs or CSV uploads), accepts queries in the paper's
+// PREFERRING dialect, and streams results as NDJSON or Server-Sent Events
+// with a trailing stats record. Engine runs are admission-controlled and
+// fully cancellable: a client that disconnects mid-stream aborts its run
+// through the smj.ContextEngine contract.
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness probe
+//	GET    /v1/engines           accepted engine names
+//	GET    /v1/relations         catalog listing (JSON)
+//	POST   /v1/relations         generate a synthetic relation (datagen spec, JSON)
+//	PUT    /v1/relations/{name}  upload a relation as CSV
+//	GET    /v1/relations/{name}  download a relation as CSV
+//	DELETE /v1/relations/{name}  drop a relation
+//	POST   /v1/query             evaluate a PREFERRING query, streaming results
+//	GET    /v1/stats             service counters (JSON)
+//	GET    /metrics              service counters (Prometheus text format)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"progxe/internal/datagen"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// Tunable defaults; see Config.
+const (
+	defaultMaxConcurrentRuns = 8
+	defaultRunTimeout        = 60 * time.Second
+	defaultMaxUploadBytes    = 64 << 20
+	defaultMaxQueryBytes     = 1 << 20
+	defaultWriteStallTimeout = 30 * time.Second
+	defaultEngine            = "progxe"
+	defaultMaxGeneratedRows  = 10_000_000
+	defaultMaxRelations      = 64
+	defaultMaxTotalRows      = 20_000_000
+	// maxGeneratedDims bounds the dimensionality of one synthetic relation;
+	// together with the row cap and the catalog-entry cap it bounds the
+	// memory unauthenticated registration requests can pin (skyline queries
+	// beyond a handful of dimensions are degenerate anyway — §VI shows
+	// d ≤ 5).
+	maxGeneratedDims = 16
+)
+
+// Config tunes the service. The zero value is fully usable.
+type Config struct {
+	// MaxConcurrentRuns bounds engine runs executing at once; further query
+	// requests are rejected with 429 until a slot frees. Default 8.
+	MaxConcurrentRuns int
+	// RunTimeout caps the wall-clock duration of one engine run; the run is
+	// canceled (and the stream terminated with a stats record) when it
+	// expires. Default 60s; negative disables the cap.
+	RunTimeout time.Duration
+	// MaxUploadBytes bounds CSV upload bodies. Default 64 MiB.
+	MaxUploadBytes int64
+	// MaxGeneratedRows bounds the cardinality of one synthetic relation.
+	// Default 10M rows.
+	MaxGeneratedRows int
+	// MaxRelations bounds the number of catalog entries registrable over
+	// the network, so repeated generate/upload requests cannot grow the
+	// resident data without bound. Default 64; negative disables the cap.
+	MaxRelations int
+	// MaxTotalRows bounds the aggregate resident rows across all
+	// network-registered relations — the per-relation caps alone would
+	// still let MaxRelations maximal relations pin tens of gigabytes.
+	// Default 20M rows; negative disables the cap.
+	MaxTotalRows int
+	// WriteStallTimeout bounds how long one streamed record may take to
+	// reach the client socket. A connected-but-stalled reader (full TCP
+	// window, never closes) would otherwise block the handler inside a
+	// sink write forever — past every context deadline — and pin an
+	// admission slot. Default 30s; negative disables the deadline.
+	WriteStallTimeout time.Duration
+	// DefaultEngine is used when a query request names none. Default "progxe".
+	DefaultEngine string
+	// NewEngine overrides engine construction — a seam for tests to inject
+	// slow or failing engines. Default NewEngine.
+	NewEngine func(name string) (smj.Engine, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentRuns <= 0 {
+		c.MaxConcurrentRuns = defaultMaxConcurrentRuns
+	}
+	if c.RunTimeout == 0 {
+		c.RunTimeout = defaultRunTimeout
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = defaultMaxUploadBytes
+	}
+	if c.MaxGeneratedRows <= 0 {
+		c.MaxGeneratedRows = defaultMaxGeneratedRows
+	}
+	if c.MaxRelations == 0 {
+		c.MaxRelations = defaultMaxRelations
+	}
+	if c.MaxRelations < 0 {
+		c.MaxRelations = 0 // unlimited
+	}
+	if c.MaxTotalRows == 0 {
+		c.MaxTotalRows = defaultMaxTotalRows
+	}
+	if c.MaxTotalRows < 0 {
+		c.MaxTotalRows = 0 // unlimited
+	}
+	if c.WriteStallTimeout == 0 {
+		c.WriteStallTimeout = defaultWriteStallTimeout
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = defaultEngine
+	}
+	if c.NewEngine == nil {
+		c.NewEngine = NewEngine
+	}
+	return c
+}
+
+// Server is the progressive query service. It implements http.Handler;
+// construct with New.
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	metrics *metrics
+	adm     *admission
+	mux     *http.ServeMux
+
+	// runCtx is done once CancelRuns is called; every engine run's context
+	// is tied to it so a graceful shutdown can abort in-flight streams.
+	runCtx   context.Context
+	stopRuns context.CancelFunc
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		catalog: NewCatalog(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.runCtx, s.stopRuns = context.WithCancel(context.Background())
+	s.adm = newAdmission(s.cfg.MaxConcurrentRuns)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/engines", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"engines": EngineNames(), "default": s.cfg.DefaultEngine})
+	})
+	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
+	s.mux.HandleFunc("POST /v1/relations", s.handleGenerateRelation)
+	s.mux.HandleFunc("PUT /v1/relations/{name}", s.handleUploadRelation)
+	s.mux.HandleFunc("GET /v1/relations/{name}", s.handleDownloadRelation)
+	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleDeleteRelation)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.writePrometheus(w)
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Catalog exposes the relation registry, e.g. for preloading datasets at
+// startup.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Snapshot { return s.metrics.snapshot() }
+
+// CancelRuns aborts every in-flight engine run (each stream still emits its
+// stats trailer) and makes future runs abort immediately. Call it before
+// http.Server.Shutdown so draining connections finish within the shutdown
+// window instead of running out their timeouts.
+func (s *Server) CancelRuns() { s.stopRuns() }
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// GenerateRequest is the body of POST /v1/relations: a datagen spec plus the
+// name to register under.
+type GenerateRequest struct {
+	Name         string  `json:"name"`
+	Rows         int     `json:"rows"`
+	Dims         int     `json:"dims"`
+	Distribution string  `json:"distribution,omitempty"` // independent | correlated | anti-correlated
+	Selectivity  float64 `json:"selectivity,omitempty"`  // target join selectivity σ
+	Seed         uint64  `json:"seed,omitempty"`
+}
+
+func (s *Server) handleGenerateRelation(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad generate spec: %v", err)
+		return
+	}
+	if !validName(req.Name) {
+		writeError(w, http.StatusBadRequest, "relation name %q is not a valid identifier", req.Name)
+		return
+	}
+	if req.Rows > s.cfg.MaxGeneratedRows {
+		writeError(w, http.StatusBadRequest, "rows %d exceeds the per-relation cap %d", req.Rows, s.cfg.MaxGeneratedRows)
+		return
+	}
+	if req.Dims > maxGeneratedDims {
+		writeError(w, http.StatusBadRequest, "dims %d exceeds the cap %d", req.Dims, maxGeneratedDims)
+		return
+	}
+	dist := datagen.Independent
+	if req.Distribution != "" {
+		var err error
+		if dist, err = datagen.ParseDistribution(req.Distribution); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	sel := req.Selectivity
+	if sel == 0 {
+		sel = 0.01
+	}
+	rel, err := datagen.Generate(datagen.Spec{
+		Name: req.Name, N: req.Rows, Dims: req.Dims,
+		Distribution: dist, Selectivity: sel, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.registerCapped(w, rel) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, RelationInfo{
+		Name: req.Name, Attrs: rel.Schema.Attrs, JoinAttr: rel.Schema.JoinAttr, Rows: rel.Len(),
+	})
+}
+
+// registerCapped registers a network-supplied relation against the catalog
+// entry cap, writing the HTTP error itself on failure.
+func (s *Server) registerCapped(w http.ResponseWriter, rel *relation.Relation) bool {
+	err := s.catalog.RegisterCapped(rel, s.cfg.MaxRelations, s.cfg.MaxTotalRows)
+	switch {
+	case err == nil:
+		return true
+	case errors.As(err, &ErrCatalogFull{}):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	return false
+}
+
+func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validName(name) {
+		writeError(w, http.StatusBadRequest, "relation name %q is not a valid identifier", name)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	rel, err := relation.ReadCSV(name, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.registerCapped(w, rel) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, RelationInfo{
+		Name: name, Attrs: rel.Schema.Attrs, JoinAttr: rel.Schema.JoinAttr, Rows: rel.Len(),
+	})
+}
+
+func (s *Server) handleDownloadRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", name)
+		return
+	}
+	if s.cfg.WriteStallTimeout > 0 {
+		// Bound the whole download so a stalled reader cannot pin the
+		// handler; generous multiple of the per-record stream deadline.
+		// Cleared afterwards so the keep-alive connection is not poisoned
+		// for its next request.
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(10 * s.cfg.WriteStallTimeout))
+		defer rc.SetWriteDeadline(time.Time{})
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	_ = rel.WriteCSV(w)
+}
+
+func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.Remove(name) {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"relations": s.catalog.List()})
+}

@@ -1,0 +1,92 @@
+package smj
+
+import "context"
+
+// ContextEngine is implemented by engines that support cooperative
+// cancellation: RunContext behaves like Run but aborts at the engine's next
+// cancellation poll — returning ctx.Err() and whatever partial Stats were
+// accumulated — once ctx is done. Poll granularity is per engine (regions,
+// join batches, scan rows); uninterruptible phases bound the abort latency.
+// Results emitted before the abort are still guaranteed to belong to the
+// final skyline; the stream is merely truncated.
+//
+// Every engine in this repository implements ContextEngine. The interface is
+// kept separate from Engine so third-party engines remain valid without a
+// cancellation path; RunContext (the function) bridges the two.
+type ContextEngine interface {
+	Engine
+	RunContext(ctx context.Context, p *Problem, sink Sink) (Stats, error)
+}
+
+// RunContext evaluates p with e under ctx. Engines implementing
+// ContextEngine abort cooperatively when ctx is canceled or times out;
+// plain Engines run to completion, after which a pending context error is
+// still reported so callers observe a uniform contract.
+func RunContext(ctx context.Context, e Engine, p *Problem, sink Sink) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ce, ok := e.(ContextEngine); ok {
+		return ce.RunContext(ctx, p, sink)
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	stats, err := e.Run(p, sink)
+	if err == nil {
+		err = ctx.Err()
+	}
+	return stats, err
+}
+
+// cancelCheckInterval bounds how much work an engine performs between two
+// context polls on its hot paths (join probes, dominance inserts). Polling
+// ctx.Err() costs an atomic load; every few thousand tuples keeps abort
+// latency in the microsecond range without measurable overhead.
+const cancelCheckInterval = 4096
+
+// Canceler amortizes context polling on per-tuple hot paths: Check reports
+// a non-nil error only once ctx is done, inspecting ctx at most every
+// cancelCheckInterval calls.
+type Canceler struct {
+	ctx context.Context
+	n   int
+	err error
+}
+
+// NewCanceler returns a Canceler polling ctx (nil means Background, so
+// engines' RunContext methods tolerate a nil context like RunContext does).
+func NewCanceler(ctx context.Context) *Canceler {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Canceler{ctx: ctx}
+}
+
+// Check returns ctx.Err() once the context is done, polling at most every
+// cancelCheckInterval calls (and remembering a seen error forever). A nil
+// Canceler never cancels, so helpers can take one optionally.
+func (c *Canceler) Check() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.n++; c.n >= cancelCheckInterval {
+		c.n = 0
+		c.err = c.ctx.Err()
+	}
+	return c.err
+}
+
+// Now polls the context immediately, bypassing the amortization window.
+func (c *Canceler) Now() error {
+	if c == nil {
+		return nil
+	}
+	if c.err == nil {
+		c.err = c.ctx.Err()
+	}
+	return c.err
+}

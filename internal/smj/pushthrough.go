@@ -16,6 +16,14 @@ import (
 // It returns the (possibly shared) pruned relation and the number of tuples
 // removed.
 func PushThrough(rel *relation.Relation, maps *mapping.Set, side mapping.Side) (*relation.Relation, int) {
+	return PushThroughContext(rel, maps, side, nil)
+}
+
+// PushThroughContext is PushThrough polling cancel (which may be nil) inside
+// the per-group dominance scans — the scan is quadratic per join-key group,
+// so a canceled run must not have to wait it out. Once canceled it returns
+// the input untouched; the caller aborts right after.
+func PushThroughContext(rel *relation.Relation, maps *mapping.Set, side mapping.Side, cancel *Canceler) (*relation.Relation, int) {
 	plan, err := maps.PushThrough(side)
 	if err != nil || len(plan.Attrs) == 0 {
 		return rel, 0
@@ -27,6 +35,9 @@ func PushThrough(rel *relation.Relation, maps *mapping.Set, side mapping.Side) (
 	keep := make([]bool, len(rel.Tuples))
 	for _, idxs := range groups {
 		for _, i := range idxs {
+			if cancel.Check() != nil {
+				return rel, 0
+			}
 			dominated := false
 			for _, j := range idxs {
 				if i != j && plan.Dominates(rel.Tuples[j].Vals, rel.Tuples[i].Vals) {
@@ -61,6 +72,14 @@ func PushThrough(rel *relation.Relation, maps *mapping.Set, side mapping.Side) (
 // (mixed monotonicity) every tuple is its own group skyline member.
 // The result maps each join key to the indices of its group-skyline tuples.
 func GroupSkylines(rel *relation.Relation, maps *mapping.Set, side mapping.Side) map[int64][]int {
+	return GroupSkylinesContext(rel, maps, side, nil)
+}
+
+// GroupSkylinesContext is GroupSkylines polling cancel (which may be nil)
+// inside the per-group dominance scans. Once canceled the remaining groups
+// keep their unfiltered index lists — unusable, but the caller aborts right
+// after.
+func GroupSkylinesContext(rel *relation.Relation, maps *mapping.Set, side mapping.Side, cancel *Canceler) map[int64][]int {
 	groups := make(map[int64][]int)
 	for i, t := range rel.Tuples {
 		groups[t.JoinKey] = append(groups[t.JoinKey], i)
@@ -72,6 +91,9 @@ func GroupSkylines(rel *relation.Relation, maps *mapping.Set, side mapping.Side)
 	for key, idxs := range groups {
 		var keep []int
 		for _, i := range idxs {
+			if cancel.Check() != nil {
+				return groups
+			}
 			dominated := false
 			for _, j := range idxs {
 				if i != j && plan.Dominates(rel.Tuples[j].Vals, rel.Tuples[i].Vals) {

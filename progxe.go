@@ -26,9 +26,18 @@
 //	e.Run(p, progxe.SinkFunc(func(r progxe.Result) {
 //	    fmt.Println(r.LeftID, r.RightID, r.Out) // guaranteed final
 //	}))
+//
+// Every engine also implements ContextEngine, so runs are cancellable via
+// RunContext / StreamContext. On top of that sits the service layer
+// (NewServer, cmd/progxe-serve): an HTTP subsystem with a relation catalog
+// that streams results progressively as NDJSON or Server-Sent Events, with
+// admission control and per-run cancellation on client disconnect — making
+// progressiveness an end-to-end property rather than an in-process one.
 package progxe
 
 import (
+	"context"
+
 	"progxe/internal/baseline"
 	"progxe/internal/core"
 	"progxe/internal/datagen"
@@ -56,7 +65,17 @@ type (
 	Stats = smj.Stats
 	// Engine evaluates a Problem, streaming results to a Sink.
 	Engine = smj.Engine
+	// ContextEngine is an Engine with cooperative cancellation. All engines
+	// constructed by this package implement it.
+	ContextEngine = smj.ContextEngine
 )
+
+// RunContext evaluates p with e under ctx: ContextEngines abort promptly
+// with ctx.Err() when the context is canceled or times out; plain Engines
+// run to completion before the context error is reported.
+func RunContext(ctx context.Context, e Engine, p *Problem, sink Sink) (Stats, error) {
+	return smj.RunContext(ctx, e, p, sink)
+}
 
 // Relational substrate types.
 type (

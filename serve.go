@@ -1,0 +1,38 @@
+package progxe
+
+import (
+	"net/http"
+
+	"progxe/internal/server"
+)
+
+// The service layer (internal/server) turns the library into a progressive
+// query service: relations are registered in a concurrency-safe catalog,
+// PREFERRING-dialect queries arrive over HTTP, and each skyline result is
+// streamed (NDJSON or Server-Sent Events) the moment the engine proves it
+// final. Runs are admission-controlled and cancellable — a disconnected
+// client aborts its engine run through the ContextEngine contract.
+type (
+	// Server is the progressive query service; it implements http.Handler.
+	Server = server.Server
+	// ServerConfig tunes the service; the zero value is fully usable.
+	ServerConfig = server.Config
+	// ServerStats is a point-in-time snapshot of the service counters,
+	// including the time-to-first-result histogram.
+	ServerStats = server.Snapshot
+)
+
+// NewServer builds the progressive query service. Mount it on any mux or
+// serve it directly:
+//
+//	srv := progxe.NewServer(progxe.ServerConfig{MaxConcurrentRuns: 16})
+//	srv.Catalog().Register(myRelation)
+//	log.Fatal(http.ListenAndServe(":8080", srv))
+//
+// See cmd/progxe-serve for the standalone binary.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ServerEngineNames returns the engine names accepted by the query endpoint.
+func ServerEngineNames() []string { return server.EngineNames() }
+
+var _ http.Handler = (*Server)(nil)

@@ -1,5 +1,11 @@
 package progxe
 
+import (
+	"context"
+
+	"progxe/internal/smj"
+)
+
 // Stream runs the engine in a separate goroutine and returns a channel of
 // progressively emitted results. The channel is closed when evaluation
 // completes; the returned wait function blocks until then and reports the
@@ -10,7 +16,24 @@ package progxe
 //	    render(r) // arrives as soon as it is provably final
 //	}
 //	stats, err := wait()
+//
+// Stream is StreamContext with a background context: the consumer must drain
+// the channel (or cancel via StreamContext) or the producing goroutine stays
+// blocked on the next send.
 func Stream(e Engine, p *Problem) (<-chan Result, func() (Stats, error)) {
+	return StreamContext(context.Background(), e, p)
+}
+
+// StreamContext is Stream with cancellation: when ctx is canceled or times
+// out, the engine aborts cooperatively (see RunContext), the results channel
+// is closed, and wait returns the partial statistics together with ctx's
+// error. A consumer that stops reading mid-stream simply cancels ctx — the
+// producing goroutine is guaranteed to exit instead of blocking forever on a
+// channel nobody drains.
+func StreamContext(ctx context.Context, e Engine, p *Problem) (<-chan Result, func() (Stats, error)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(chan Result, 64)
 	done := make(chan struct{})
 	var (
@@ -20,7 +43,14 @@ func Stream(e Engine, p *Problem) (<-chan Result, func() (Stats, error)) {
 	go func() {
 		defer close(done)
 		defer close(out)
-		stats, err = e.Run(p, SinkFunc(func(r Result) { out <- r }))
+		stats, err = smj.RunContext(ctx, e, p, SinkFunc(func(r Result) {
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				// Consumer gone: drop the result and let the engine observe
+				// the cancellation at its next poll instead of blocking here.
+			}
+		}))
 	}()
 	return out, func() (Stats, error) {
 		<-done

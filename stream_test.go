@@ -1,0 +1,142 @@
+package progxe_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"progxe"
+)
+
+// cancelProblem builds a workload whose skyline is far larger than the
+// Stream channel buffer, so a producer whose consumer stops reading cannot
+// run to completion by filling the buffer alone.
+func cancelProblem(t *testing.T) *progxe.Problem {
+	t.Helper()
+	left, right, err := progxe.GeneratePair(progxe.DataSpec{
+		N: 2000, Dims: 3, Distribution: progxe.AntiCorrelated,
+		Selectivity: 0.01, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := progxe.ParseQuery(`
+		SELECT (R.a0 + T.a0) AS x, (R.a1 + T.a1) AS y, (R.a2 + T.a2) AS z
+		FROM R R, T T
+		WHERE R.jkey = T.jkey
+		PREFERRING LOWEST(x) AND LOWEST(y) AND LOWEST(z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := q.Compile(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStreamContextCancelReleasesProducer is the regression test for the
+// Stream goroutine leak: a consumer that abandons the channel mid-stream
+// used to leave the engine goroutine blocked on a send forever. With
+// StreamContext, canceling the context aborts the run, closes the channel,
+// and wait() returns the context error.
+func TestStreamContextCancelReleasesProducer(t *testing.T) {
+	p := cancelProblem(t)
+	if full, err := progxe.Oracle(p); err != nil || len(full) < 100 {
+		t.Fatalf("workload too small for the regression (skyline %d, err %v)", len(full), err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	results, wait := progxe.StreamContext(ctx, progxe.New(progxe.Options{}), p)
+
+	// Read a single result, then abandon the stream.
+	if _, ok := <-results; !ok {
+		t.Fatal("stream produced no results")
+	}
+	cancel()
+
+	waited := make(chan error, 1)
+	go func() {
+		_, err := wait()
+		waited <- err
+	}()
+	select {
+	case err := <-waited:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("wait() = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer goroutine did not exit after cancel (leak regression)")
+	}
+
+	// The channel must drain and close — ranging over it terminates.
+	n := 0
+	for range results {
+		n++
+	}
+	if n > 64 {
+		t.Fatalf("post-cancel backlog of %d results exceeds the channel buffer", n)
+	}
+}
+
+// TestStreamContextTimeout verifies deadline-based cancellation through the
+// same path.
+func TestStreamContextTimeout(t *testing.T) {
+	p := cancelProblem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	results, wait := progxe.StreamContext(ctx, progxe.New(progxe.Options{}), p)
+	for range results {
+	}
+	if _, err := wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait() = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextAllEngines checks the ContextEngine contract across every
+// engine constructor: a pre-canceled context aborts with context.Canceled
+// and a background context produces the oracle result set.
+func TestRunContextAllEngines(t *testing.T) {
+	p := cancelProblem(t)
+	want, err := progxe.Oracle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]progxe.Engine{
+		"progxe":  progxe.New(progxe.Options{}),
+		"progxe+": progxe.New(progxe.Options{PushThrough: true}),
+		"jfsl":    progxe.NewJFSL(false),
+		"ssmj":    progxe.NewSSMJ(true),
+		"saj":     progxe.NewSAJ(),
+	}
+	for name, e := range engines {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := e.(progxe.ContextEngine); !ok {
+				t.Fatalf("%s does not implement ContextEngine", name)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var got []progxe.Result
+			_, err := progxe.RunContext(ctx, e, p, progxe.SinkFunc(func(r progxe.Result) {
+				got = append(got, r)
+			}))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("pre-canceled run: err = %v, want context.Canceled", err)
+			}
+			if len(got) != 0 {
+				t.Fatalf("pre-canceled run emitted %d results", len(got))
+			}
+
+			// A nil context is tolerated on the engine method directly, not
+			// just through the RunContext facade.
+			var c progxe.Collector
+			if _, err := e.(progxe.ContextEngine).RunContext(nil, p, &c); err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Results) != len(want) {
+				t.Fatalf("background run: %d results, oracle has %d", len(c.Results), len(want))
+			}
+		})
+	}
+}
