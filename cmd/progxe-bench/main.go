@@ -9,6 +9,7 @@
 //	progxe-bench -figure 11c      # one figure
 //	progxe-bench -list            # list figure ids and captions
 //	progxe-bench -series          # include full downsampled curves
+//	progxe-bench -json out.json   # machine-readable results (BENCH_*.json)
 //	PROGXE_BENCH_SCALE=4 progxe-bench -figure 13c   # larger workloads
 //
 // Workload sizes default to laptop scale (the paper used N = 500K on a
@@ -35,12 +36,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("progxe-bench", flag.ContinueOnError)
 	var (
-		figID  = fs.String("figure", "", "run a single figure (e.g. 10a, 11c, 12b, 13a)")
-		list   = fs.Bool("list", false, "list available figures")
-		series = fs.Bool("series", false, "print downsampled progress curves")
-		plot   = fs.Bool("plot", false, "render progress figures as ASCII charts")
-		check  = fs.Bool("check", false, "evaluate the paper's qualitative claims against the runs")
-		csvDir = fs.String("csv", "", "write per-figure series as CSV files into this directory")
+		figID    = fs.String("figure", "", "run a single figure (e.g. 10a, 11c, 12b, 13a)")
+		list     = fs.Bool("list", false, "list available figures")
+		series   = fs.Bool("series", false, "print downsampled progress curves")
+		plot     = fs.Bool("plot", false, "render progress figures as ASCII charts")
+		check    = fs.Bool("check", false, "evaluate the paper's qualitative claims against the runs")
+		csvDir   = fs.String("csv", "", "write per-figure series as CSV files into this directory")
+		jsonPath = fs.String("json", "", "write machine-readable per-figure results (engine, total-ms, first-ms, DomComparisons) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,7 @@ func run(args []string) error {
 
 	start := time.Now()
 	var verdicts []bench.CheckResult
+	var report bench.JSONReport
 	for i, f := range figs {
 		if i > 0 {
 			fmt.Println()
@@ -83,6 +86,14 @@ func run(args []string) error {
 			if err := writeCSV(*csvDir, f, runs); err != nil {
 				return err
 			}
+		}
+		if *jsonPath != "" {
+			report.AddFigure(f, runs)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, &report); err != nil {
+			return err
 		}
 	}
 	if *check {
@@ -101,6 +112,19 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "\n%d figure(s) in %v (scale %.2g)\n",
 		len(figs), time.Since(start).Round(time.Millisecond), bench.Scale())
 	return nil
+}
+
+// writeJSON stores the machine-readable report at path.
+func writeJSON(path string, report *bench.JSONReport) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeCSV stores one figure's series under dir as fig<ID>.csv.

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"progxe/internal/bench"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -18,5 +25,37 @@ func TestRunSingleFigure(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run([]string{"-figure", "99x"}); err == nil {
 		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	t.Setenv("PROGXE_BENCH_SCALE", "0.02")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-figure", "11a", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.JSONReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Figures) != 1 || report.Figures[0].Figure != "11a" {
+		t.Fatalf("report figures = %+v", report.Figures)
+	}
+	runs := report.Figures[0].Runs
+	if len(runs) == 0 {
+		t.Fatal("figure has no runs")
+	}
+	for _, r := range runs {
+		if r.Engine == "" || r.TotalMS <= 0 {
+			t.Fatalf("run missing fields: %+v", r)
+		}
+	}
+	// The ProgXe runs must carry the comparison counter the perf work tracks.
+	if runs[0].DomComparisons == 0 {
+		t.Fatalf("ProgXe run reports no dominance comparisons: %+v", runs[0])
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +56,7 @@ func run(args []string, ready chan<- string) error {
 		maxUpload  = fs.Int64("max-upload-bytes", 0, "CSV upload size cap in bytes (0 = default 64 MiB)")
 		defEngine  = fs.String("engine", "", "default engine for queries that name none (default progxe)")
 		demo       = fs.Bool("demo", false, "preload a demo workload: anti-correlated pair R, T (1000 rows, 3 dims)")
+		pprofAddr  = fs.String("pprof", os.Getenv("PROGXE_PPROF"), "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 		loads      []string
 	)
 	fs.Func("load", "preload a relation from CSV as name=path (repeatable)", func(v string) error {
@@ -106,6 +108,30 @@ func run(args []string, ready chan<- string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "progxe-serve: loaded %s (%d rows) from %s\n", name, rel.Len(), path)
+	}
+
+	// Profiling endpoint, opt-in and on its own listener so the debug
+	// surface never shares a port with query traffic. Lets hot-path
+	// regressions be profiled against live load:
+	//
+	//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := listen(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "progxe-serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "progxe-serve: pprof server:", err)
+			}
+		}()
 	}
 
 	// Header/idle timeouts shed slow-loris connections; response writes are

@@ -116,6 +116,35 @@ func TestServeDemoWorkflow(t *testing.T) {
 	}
 }
 
+// TestServePprofEndpoint boots with the opt-in profiling listener and
+// fetches the pprof index from it.
+func TestServePprofEndpoint(t *testing.T) {
+	// Reserve a port for the pprof listener; the tiny close-to-bind window
+	// is raced only by other local processes.
+	ln, err := listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := ln.Addr().String()
+	ln.Close()
+
+	base := startServe(t, "-pprof", pprofAddr)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof endpoint unreachable: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-load", "nopath"}, nil); err == nil {
 		t.Fatal("-load without name=path must error")

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSONRun is one engine execution in the machine-readable report: the
+// figures' headline quantities (total and first-result latency) plus the
+// work counters that perf work tracks across PRs.
+type JSONRun struct {
+	Engine         string  `json:"engine"`
+	N              int     `json:"n"`
+	Dims           int     `json:"dims"`
+	Dist           string  `json:"dist"`
+	Sigma          float64 `json:"sigma"`
+	TotalMS        float64 `json:"total_ms"`
+	FirstMS        float64 `json:"first_ms"`
+	Results        int     `json:"results"`
+	DomComparisons int     `json:"dom_comparisons"`
+	JoinResults    int     `json:"join_results"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// JSONFigure groups the runs of one reproduced figure.
+type JSONFigure struct {
+	Figure  string    `json:"figure"`
+	Caption string    `json:"caption"`
+	Kind    string    `json:"kind"`
+	Runs    []JSONRun `json:"runs"`
+}
+
+// JSONReport is the document progxe-bench -json emits: one entry per
+// executed figure, carrying enough context (workload, scale) to compare
+// BENCH_*.json files across revisions.
+type JSONReport struct {
+	Scale   float64      `json:"scale"`
+	Figures []JSONFigure `json:"figures"`
+}
+
+// AddFigure appends a figure's runs to the report.
+func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
+	kind := "progress"
+	if f.Kind == TotalTime {
+		kind = "total-time"
+	}
+	jf := JSONFigure{Figure: f.ID, Caption: f.Caption, Kind: kind}
+	for _, run := range runs {
+		jr := JSONRun{
+			Engine:         run.Engine,
+			N:              run.Workload.N,
+			Dims:           run.Workload.Dims,
+			Dist:           run.Workload.Dist.String(),
+			Sigma:          run.Workload.Sigma,
+			TotalMS:        float64(run.Total) / float64(time.Millisecond),
+			FirstMS:        float64(run.First) / float64(time.Millisecond),
+			Results:        run.Results,
+			DomComparisons: run.Stats.DomComparisons,
+			JoinResults:    run.Stats.JoinResults,
+		}
+		if run.Err != nil {
+			jr.Error = run.Err.Error()
+		}
+		jf.Runs = append(jf.Runs, jr)
+	}
+	r.Figures = append(r.Figures, jf)
+}
+
+// WriteJSON renders the report with stable indentation (diff-friendly for
+// committed BENCH_*.json baselines).
+func (r *JSONReport) WriteJSON(w io.Writer) error {
+	r.Scale = Scale()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -7,11 +7,15 @@ import (
 )
 
 // outTuple is a surviving intermediate result held in an output cell's
-// buffer until ProgDetermine proves it safe to emit.
+// buffer until ProgDetermine proves it safe to emit. sum caches the
+// coordinate sum of v; buffers are kept sorted ascending by it (SFS order),
+// so dominance scans can stop at the first entry whose sum is not smaller
+// (a dominator's sum is strictly smaller, a victim's strictly larger).
 type outTuple struct {
 	leftID  int64
 	rightID int64
-	v       []float64 // canonical (minimized) output vector
+	v       []float64 // canonical (minimized) output vector, arena-backed
+	sum     float64
 }
 
 // cell is the runtime state of one output partition Oh (§V).
@@ -39,8 +43,19 @@ type cell struct {
 	finalized bool      // regCount reached zero: no future tuples can map here
 	emitted   bool      // survivors already reported
 	activeIdx int       // position in space.active, -1 if not active
-	tuples    []outTuple
-	watchers  []*cell // pending cells whose current blocker is this cell
+	visited   int       // cellIndex epoch stamp (bucket-union dedup)
+	key       uint64    // packed coordinate key (valid when the index is packed)
+	// minV/maxV are the componentwise min/max over the current survivors —
+	// the survivor summary. A cell can hold a dominator of t only if
+	// minV ≤ t everywhere, and a victim of t only if maxV ≥ t everywhere,
+	// so whole cells refute in O(d) before any tuple is touched. Valid only
+	// while len(tuples) > 0; maintained exactly on insert and eviction.
+	minV []float64
+	maxV []float64
+	// tuples is sorted ascending by (sum, arrival): SFS order with stable
+	// ties. Emission reports survivors in this order.
+	tuples   []outTuple
+	watchers []*cell // pending cells whose current blocker is this cell
 }
 
 // coveredByRegion reports whether the region id covers this cell.
@@ -57,20 +72,85 @@ func (c *cell) coveredByRegion(id int) bool {
 	return lo < len(c.coveredBy) && c.coveredBy[lo] == id
 }
 
+// firstNotBelow returns the index of the first buffered tuple whose sum is
+// ≥ s — the cutoff for dominator scans (everything from here on cannot
+// dominate a tuple of sum s).
+func (c *cell) firstNotBelow(s float64) int {
+	lo, hi := 0, len(c.tuples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.tuples[mid].sum < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// firstAbove returns the index of the first buffered tuple whose sum is > s
+// — the start of the victim range for an eviction scan (everything before
+// it cannot be dominated by a tuple of sum s).
+func (c *cell) firstAbove(s float64) int {
+	lo, hi := 0, len(c.tuples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.tuples[mid].sum <= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// vecArena hands out fixed-length float vectors for surviving tuples from
+// chunked backing storage plus a free list of evicted vectors, so steady-
+// state tuple processing performs no per-tuple heap allocations. Vectors of
+// emitted results are never recycled (sinks may retain them indefinitely).
+type vecArena struct {
+	d     int
+	chunk []float64
+	free  [][]float64
+}
+
+const arenaChunkVecs = 1024
+
+func (a *vecArena) get() []float64 {
+	if n := len(a.free); n > 0 {
+		v := a.free[n-1]
+		a.free = a.free[:n-1]
+		return v
+	}
+	if len(a.chunk) < a.d {
+		a.chunk = make([]float64, arenaChunkVecs*a.d)
+	}
+	v := a.chunk[:a.d:a.d]
+	a.chunk = a.chunk[a.d:]
+	return v
+}
+
 // space is the mapped output space: the output grid, the covered cells, and
 // the bookkeeping that drives progressive result determination.
 type space struct {
 	d     int
 	g     *grid.Grid
-	cells map[int]*cell
+	cells map[int]*cell // construction-time lookup; hot paths use idx
 	// cellList is the deterministic iteration order (ascending flat index).
 	cellList []*cell
-	// populated lists cells that ever received a surviving tuple.
-	populated []*cell
+	// idx accelerates flat-id resolution, comparable-slice enumeration and
+	// coordinate-box walks (see cellIndex).
+	idx cellIndex
 	// active lists counted cells that have not yet finalized — the cells
 	// that can still block emission (swap-removed as they finalize).
 	active []*cell
 	stats  *smj.Stats
+	arena  vecArena
+	// pendingFree holds vectors evicted or dropped during the current
+	// region's tuple processing. Recycling is deferred until the region
+	// completes because runState.roundNew still references round survivors
+	// by slice; flushFree moves them to the arena free list.
+	pendingFree [][]float64
 	// emit delivers one safe result (canonical vector) to the caller.
 	emit func(t outTuple)
 	// traceEmit, when non-nil, observes each cell emission (cell, count).
@@ -78,7 +158,18 @@ type space struct {
 }
 
 // cellAt returns the covered cell with the given flat index, or nil.
-func (s *space) cellAt(flat int) *cell { return s.cells[flat] }
+func (s *space) cellAt(flat int) *cell {
+	if s.idx.dense != nil {
+		return s.idx.dense[flat]
+	}
+	return s.cells[flat]
+}
+
+// flushFree recycles the vectors retired during the last region round.
+func (s *space) flushFree() {
+	s.arena.free = append(s.arena.free, s.pendingFree...)
+	s.pendingFree = s.pendingFree[:0]
+}
 
 // mark flags a cell as non-contributing and drops any buffered tuples;
 // results that map to marked cells are guaranteed dominated (§III-A Ex. 3).
@@ -87,59 +178,188 @@ func (s *space) mark(c *cell) {
 		return
 	}
 	c.marked = true
+	for i := range c.tuples {
+		s.pendingFree = append(s.pendingFree, c.tuples[i].v)
+	}
 	c.tuples = nil
 	s.stats.CellsMarked++
 }
 
 // insert runs the tuple-level dominance protocol of §III-B for one mapped
-// join result. Comparisons are confined to populated cells whose coordinates
+// join result with output vector v (caller-owned scratch; copied on
+// survival). Comparisons are confined to populated cells whose coordinates
 // are comparable to the target cell: slice-below cells may contain
 // dominators; slice-above cells may contain victims; the strict lower-left
 // orthant is empty for any unmarked cell (populating it would have marked
-// this cell), and incomparable corners are skipped entirely (Fig. 4).
-// It reports whether the tuple survived.
-func (s *space) insert(c *cell, t outTuple) bool {
+// this cell), and incomparable corners are skipped entirely (Fig. 4). The
+// comparable set is enumerated through the per-dimension coordinate buckets
+// of the cell index, each candidate cell is pre-filtered in O(d) against
+// its survivor summary, and buffer scans stop at the SFS sum cutoff.
+// On survival it returns the committed (arena-backed) vector and true.
+func (s *space) insert(c *cell, leftID, rightID int64, v []float64) ([]float64, bool) {
 	if c.marked {
 		s.stats.MappedDiscarded++
-		return false
+		return nil, false
 	}
-	// Phase 1: can any existing survivor dominate t?
-	for _, p := range s.populated {
-		if len(p.tuples) == 0 {
-			continue
-		}
-		if p != c && !sliceBelowOrEqual(p.coords, c.coords) {
-			continue
-		}
-		for _, u := range p.tuples {
-			s.stats.DomComparisons++
-			if preference.DominatesMin(u.v, t.v) {
-				return false
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	// Phase 1: can any existing survivor dominate the candidate? Dominator
+	// cells sit in the flat-id prefix of each bucket (componentwise ≤
+	// implies flat ≤); the packed-key test rejects incomparable cells in
+	// one comparison before any pointer chase.
+	packed := s.idx.packed
+	epoch := s.idx.stamp(c)
+	if s.dominatedWithin(c, v, sum) {
+		return nil, false
+	}
+	for i := 0; i < s.d; i++ {
+		b := s.idx.buckets[i][c.coords[i]]
+		for j := bucketSplit(b, c.flat) - 1; j >= 0; j-- {
+			e := &b[j]
+			if packed {
+				if !keyLeq(e.key, c.key) {
+					continue
+				}
+			} else if !grid.LeqAll(e.c.coords, c.coords) {
+				continue
+			}
+			p := e.c
+			if p.visited == epoch || len(p.tuples) == 0 {
+				continue
+			}
+			p.visited = epoch
+			if s.dominatedWithin(p, v, sum) {
+				return nil, false
 			}
 		}
 	}
-	// Phase 2: t survives; evict survivors it dominates.
-	for _, p := range s.populated {
-		if len(p.tuples) == 0 {
-			continue
-		}
-		if p != c && !sliceBelowOrEqual(c.coords, p.coords) {
-			continue
-		}
-		keep := p.tuples[:0]
-		for _, u := range p.tuples {
-			s.stats.DomComparisons++
-			if !preference.DominatesMin(t.v, u.v) {
-				keep = append(keep, u)
+	// Phase 2: the candidate survives; evict survivors it dominates (cells
+	// in the flat-id suffix of each bucket), then commit it to the arena.
+	epoch = s.idx.stamp(c)
+	s.evictDominated(c, v, sum)
+	for i := 0; i < s.d; i++ {
+		b := s.idx.buckets[i][c.coords[i]]
+		for j := bucketSplit(b, c.flat+1); j < len(b); j++ {
+			e := &b[j]
+			if packed {
+				if !keyLeq(c.key, e.key) {
+					continue
+				}
+			} else if !grid.LeqAll(c.coords, e.c.coords) {
+				continue
 			}
+			p := e.c
+			if p.visited == epoch || len(p.tuples) == 0 || p.emitted {
+				continue
+			}
+			p.visited = epoch
+			s.evictDominated(p, v, sum)
 		}
-		p.tuples = keep
 	}
-	c.tuples = append(c.tuples, t)
+	cv := s.arena.get()
+	copy(cv, v)
+	s.bufferInsert(c, outTuple{leftID: leftID, rightID: rightID, v: cv, sum: sum})
 	if !c.populated {
 		s.populate(c)
 	}
-	return true
+	return cv, true
+}
+
+// dominatedWithin reports whether any survivor of p dominates the candidate
+// vector. The survivor summary refutes whole cells in O(d); otherwise the
+// scan walks the SFS-sorted buffer up to the sum cutoff (a dominator's sum
+// is strictly smaller than the candidate's).
+func (s *space) dominatedWithin(p *cell, v []float64, sum float64) bool {
+	if len(p.tuples) == 0 {
+		return false
+	}
+	for i, m := range p.minV {
+		if m > v[i] {
+			return false
+		}
+	}
+	end := p.firstNotBelow(sum)
+	for j := 0; j < end; j++ {
+		s.stats.DomComparisons++
+		if preference.DominatesMin(p.tuples[j].v, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// evictDominated removes every survivor of p dominated by the candidate
+// vector, keeping the buffer sorted and the survivor summary exact. Only
+// the sum-above suffix can contain victims; the kept prefix contributes to
+// the summary without dominance tests.
+func (s *space) evictDominated(p *cell, v []float64, sum float64) {
+	if len(p.tuples) == 0 {
+		return
+	}
+	// Refute the whole cell when some dimension of the candidate exceeds
+	// every survivor (no tuple can be componentwise ≥ the candidate).
+	for i, m := range p.maxV {
+		if v[i] > m {
+			return
+		}
+	}
+	start := p.firstAbove(sum)
+	keep := p.tuples[:start]
+	evicted := false
+	for j := start; j < len(p.tuples); j++ {
+		u := p.tuples[j]
+		s.stats.DomComparisons++
+		if preference.DominatesMin(v, u.v) {
+			evicted = true
+			s.pendingFree = append(s.pendingFree, u.v)
+			continue
+		}
+		keep = append(keep, u)
+	}
+	if !evicted {
+		return
+	}
+	p.tuples = keep
+	if len(p.tuples) > 0 {
+		copy(p.minV, p.tuples[0].v)
+		copy(p.maxV, p.tuples[0].v)
+		for j := 1; j < len(p.tuples); j++ {
+			widenSummary(p.minV, p.maxV, p.tuples[j].v)
+		}
+	}
+}
+
+// bufferInsert places t into the cell's buffer keeping SFS order (stable on
+// equal sums) and widens the survivor summary.
+func (s *space) bufferInsert(c *cell, t outTuple) {
+	if c.minV == nil {
+		buf := make([]float64, 2*s.d)
+		c.minV, c.maxV = buf[:s.d:s.d], buf[s.d:]
+	}
+	if len(c.tuples) == 0 {
+		copy(c.minV, t.v)
+		copy(c.maxV, t.v)
+	} else {
+		widenSummary(c.minV, c.maxV, t.v)
+	}
+	pos := c.firstAbove(t.sum)
+	c.tuples = append(c.tuples, outTuple{})
+	copy(c.tuples[pos+1:], c.tuples[pos:])
+	c.tuples[pos] = t
+}
+
+// widenSummary grows the min/max summary vectors to cover v.
+func widenSummary(minV, maxV, v []float64) {
+	for i, x := range v {
+		if x < minV[i] {
+			minV[i] = x
+		}
+		if x > maxV[i] {
+			maxV[i] = x
+		}
+	}
 }
 
 // sliceBelowOrEqual reports a ≤ b componentwise with equality in ≥1
@@ -160,10 +380,25 @@ func sliceBelowOrEqual(a, b []int) bool {
 // populate records the first surviving tuple in a cell and marks every cell
 // strictly above it in all dimensions: any tuple of this cell strictly
 // improves on every point of those cells, so they can never contribute
-// (§III-B observation 2, maintained dynamically).
+// (§III-B observation 2, maintained dynamically). The strict upper orthant
+// is enumerated as a coordinate box over the dense index when that is
+// cheaper than sweeping the covered-cell list.
 func (s *space) populate(c *cell) {
 	c.populated = true
-	s.populated = append(s.populated, c)
+	s.idx.addPopulated(c)
+	vol := s.idx.strictUpperBoxVolume(c.coords)
+	if vol == 0 {
+		// No covered cell lies strictly above in every dimension.
+		return
+	}
+	if s.idx.dense != nil && vol < len(s.cellList) {
+		s.idx.eachInStrictUpperBox(c.coords, func(q *cell) {
+			if !q.marked {
+				s.mark(q)
+			}
+		})
+		return
+	}
 	for _, q := range s.cellList {
 		if q.marked || q == c {
 			continue
@@ -179,7 +414,7 @@ func (s *space) populate(c *cell) {
 // point of ProgDetermine (Algorithm 2).
 func (s *space) regionDone(cellIDs []int) {
 	for _, flat := range cellIDs {
-		c := s.cells[flat]
+		c := s.cellAt(flat)
 		c.regCount--
 		if c.regCount == 0 && !c.finalized {
 			s.finalize(c)
@@ -239,15 +474,32 @@ func (s *space) consider(c *cell) {
 	}
 }
 
-// findBlocker returns an active cell within the closed lower orthant of c
-// (componentwise ≤), or nil if none remains.
+// findBlocker returns the smallest-flat active cell within the closed lower
+// orthant of c (componentwise ≤), or nil if none remains. When the
+// coordinate box is small relative to the active set it is enumerated
+// directly over the dense index; otherwise the active set is scanned. Both
+// paths return the same cell, keeping the watch graph deterministic.
 func (s *space) findBlocker(c *cell) *cell {
-	for _, q := range s.active {
-		if grid.LeqAll(q.coords, c.coords) {
-			return q
+	if s.idx.dense != nil {
+		if vol := s.idx.lowerBoxVolume(c.coords); vol <= 4*len(s.active)+4 {
+			return s.idx.firstActiveInLowerBox(c.coords)
 		}
 	}
-	return nil
+	var best *cell
+	if s.idx.packed {
+		for _, q := range s.active {
+			if keyLeq(q.key, c.key) && (best == nil || q.flat < best.flat) {
+				best = q
+			}
+		}
+		return best
+	}
+	for _, q := range s.active {
+		if grid.LeqAll(q.coords, c.coords) && (best == nil || q.flat < best.flat) {
+			best = q
+		}
+	}
+	return best
 }
 
 // unemitted returns cells that hold survivors but were never emitted; after

@@ -25,20 +25,22 @@ func mkSpace(t *testing.T, outputCells int) (*space, *region) {
 	return s, regions[0]
 }
 
-func tupleAt(x, y float64) outTuple {
-	return outTuple{leftID: 1, rightID: 1, v: []float64{x, y}}
+// insertVec drives the tuple-level protocol with a throwaway id pair.
+func insertVec(s *space, c *cell, v ...float64) bool {
+	_, ok := s.insert(c, 1, 1, v)
+	return ok
 }
 
 func TestInsertDominanceWithinCell(t *testing.T) {
 	s, _ := mkSpace(t, 4)
 	c := s.cellAt(s.g.CellOf([]float64{1, 1}))
-	if !s.insert(c, tupleAt(1, 1)) {
+	if !insertVec(s, c, 1, 1) {
 		t.Fatal("first tuple must survive")
 	}
-	if s.insert(c, tupleAt(1.2, 1.2)) {
+	if insertVec(s, c, 1.2, 1.2) {
 		t.Fatal("dominated tuple in same cell must be rejected")
 	}
-	if !s.insert(c, tupleAt(0.5, 0.5)) {
+	if !insertVec(s, c, 0.5, 0.5) {
 		t.Fatal("dominating tuple must survive")
 	}
 	if len(c.tuples) != 1 || c.tuples[0].v[0] != 0.5 {
@@ -49,7 +51,7 @@ func TestInsertDominanceWithinCell(t *testing.T) {
 func TestInsertTiesBothSurvive(t *testing.T) {
 	s, _ := mkSpace(t, 4)
 	c := s.cellAt(s.g.CellOf([]float64{2, 2}))
-	if !s.insert(c, tupleAt(2, 2)) || !s.insert(c, tupleAt(2, 2)) {
+	if !insertVec(s, c, 2, 2) || !insertVec(s, c, 2, 2) {
 		t.Fatal("equal tuples must both survive")
 	}
 	if len(c.tuples) != 2 {
@@ -63,7 +65,7 @@ func TestPopulateMarksStrictUppers(t *testing.T) {
 	// both dimensions become non-contributing.
 	p := []float64{3, 3}
 	c := s.cellAt(s.g.CellOf(p))
-	if !s.insert(c, outTuple{v: p}) {
+	if !insertVec(s, c, p...) {
 		t.Fatal("survivor expected")
 	}
 	marked := 0
@@ -89,7 +91,7 @@ func TestPopulateMarksStrictUppers(t *testing.T) {
 	if !mc.marked {
 		t.Skip("cell (9,9) not marked in this layout")
 	}
-	if s.insert(mc, tupleAt(9, 9)) {
+	if insertVec(s, mc, 9, 9) {
 		t.Fatal("insert into marked cell must be discarded")
 	}
 	if s.stats.MappedDiscarded == 0 {
@@ -102,18 +104,18 @@ func TestInsertCrossCellEviction(t *testing.T) {
 	// A tuple in a slice-below cell (same row) evicts dominated tuples in a
 	// later cell.
 	hi := s.cellAt(s.g.CellOf([]float64{8, 1}))
-	if !s.insert(hi, tupleAt(8, 1)) {
+	if !insertVec(s, hi, 8, 1) {
 		t.Fatal("survivor expected")
 	}
 	lo := s.cellAt(s.g.CellOf([]float64{2, 1}))
-	if !s.insert(lo, tupleAt(2, 1)) {
+	if !insertVec(s, lo, 2, 1) {
 		t.Fatal("dominating tuple must survive")
 	}
 	if len(hi.tuples) != 0 {
 		t.Fatalf("dominated cross-cell tuple must be evicted: %v", hi.tuples)
 	}
 	// And the reverse: a dominated newcomer in a slice-above cell dies.
-	if s.insert(hi, tupleAt(8, 1)) {
+	if insertVec(s, hi, 8, 1) {
 		t.Fatal("newcomer dominated from slice-below cell must be rejected")
 	}
 }
@@ -123,7 +125,7 @@ func TestFinalizeEmissionLifecycle(t *testing.T) {
 	var emitted []outTuple
 	s.emit = func(t outTuple) { emitted = append(emitted, t) }
 	c := s.cellAt(s.g.CellOf([]float64{0.5, 0.5}))
-	if !s.insert(c, tupleAt(0.5, 0.5)) {
+	if !insertVec(s, c, 0.5, 0.5) {
 		t.Fatal("survivor expected")
 	}
 	if len(emitted) != 0 {

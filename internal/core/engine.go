@@ -196,12 +196,26 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	if err != nil {
 		return stats, err
 	}
+	// Emission without per-result cloning: canonical preferences hand the
+	// arena-backed survivor vector to the sink directly (survivors of
+	// emitted cells are immutable and never recycled); non-canonical ones
+	// decanonicalize into a fresh arena vector instead of mutating it.
+	var neg []int
+	for j, a := range p.Pref.Attributes() {
+		if a.Order == preference.Highest {
+			neg = append(neg, j)
+		}
+	}
 	s.emit = func(t outTuple) {
-		sink.Emit(smj.Result{
-			LeftID:  t.leftID,
-			RightID: t.rightID,
-			Out:     smj.Decanonicalize(p.Pref, cloneVals(t.v)),
-		})
+		out := t.v
+		if len(neg) > 0 {
+			out = s.arena.get()
+			copy(out, t.v)
+			for _, j := range neg {
+				out[j] = -out[j]
+			}
+		}
+		sink.Emit(smj.Result{LeftID: t.leftID, RightID: t.rightID, Out: out})
 	}
 
 	run := &runState{
@@ -371,9 +385,8 @@ func (r *runState) process(reg *region) error {
 			// Cannot happen: the region's enclosure covers this cell.
 			return true
 		}
-		t := outTuple{leftID: lt[li].ID, rightID: rt[ri].ID, v: cloneVals(v)}
-		if r.space.insert(c, t) {
-			r.roundNew = append(r.roundNew, t.v)
+		if cv, ok := r.space.insert(c, lt[li].ID, rt[ri].ID, v); ok {
+			r.roundNew = append(r.roundNew, cv)
 		}
 		return true
 	})
@@ -411,6 +424,9 @@ func (r *runState) process(reg *region) error {
 	// Algorithm 1, Lines 10–19: release out-edges, update benefits of
 	// queued targets, enqueue new roots.
 	r.releaseEdges(reg)
+
+	// roundNew is consumed; vectors evicted this round can now be recycled.
+	r.space.flushFree()
 	return nil
 }
 

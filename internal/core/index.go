@@ -1,0 +1,227 @@
+package core
+
+import "progxe/internal/grid"
+
+// denseLimit caps the size of the flat-id → *cell lookup array. Grids above
+// the cap (possible only with extreme manual OutputCells choices) fall back
+// to the construction map and to whole-list scans, trading speed for memory.
+// A variable (not const) so the differential tests can force the fallback
+// paths on small grids.
+var denseLimit = 1 << 21
+
+// laneHi has the high bit of every 8-bit lane set — the borrow detector of
+// the packed-coordinate comparison.
+const laneHi = 0x8080808080808080
+
+// keyLeq reports componentwise a ≤ b over packed 8-bit coordinate lanes in
+// one subtraction: (b|hi)-a keeps each lane's high bit set exactly when that
+// lane of a does not exceed b (lanes hold values ≤ 127, so no borrow can
+// cross lanes). Valid only for keys built by packKey.
+func keyLeq(a, b uint64) bool { return ((b|laneHi)-a)&laneHi == laneHi }
+
+// bucketEntry is one populated cell in a coordinate bucket, carrying the
+// cell's flat id and packed coordinate key inline so the comparability
+// filter runs without chasing the cell pointer.
+type bucketEntry struct {
+	flat int
+	key  uint64
+	c    *cell
+}
+
+// cellIndex accelerates the three hot queries of tuple-level processing and
+// progressive determination:
+//
+//   - flat-id → cell resolution (dense array instead of a map lookup),
+//   - "populated cells comparable to X" (per-dimension coordinate buckets:
+//     a cell is slice-comparable to X iff it shares a coordinate with X in
+//     some dimension and is componentwise ≤ or ≥, so the union of the d
+//     buckets through X covers exactly the candidate set of §III-B; each
+//     bucket is sorted by flat id, and componentwise ≤ implies flat ≤, so
+//     dominator candidates live in the bucket prefix below X's flat id and
+//     victim candidates in the suffix above it),
+//   - coordinate-box enumeration (the closed lower orthant for blocker
+//     checks, the strict upper orthant for dynamic marking) via row-major
+//     odometer walks over the dense array.
+//
+// Buckets hold populated cells only: cells are never un-populated, and
+// empty-buffer or marked cells are skipped by the caller.
+type cellIndex struct {
+	g     *grid.Grid
+	d     int
+	dense []*cell // flat id → cell; nil for uncovered cells. nil slice = fallback mode.
+	minC  []int   // componentwise min coordinate over covered cells
+	maxC  []int   // componentwise max coordinate over covered cells
+	// packed reports whether coordinates fit 8-bit lanes (d ≤ 8, every
+	// dimension ≤ 128 cells) so keyLeq applies; otherwise comparability
+	// falls back to grid.LeqAll over the coordinate slices.
+	packed bool
+	// buckets[i][v] lists populated cells whose i-th coordinate equals v,
+	// ascending by flat id.
+	buckets [][][]bucketEntry
+	epoch   int // visit stamp: dedups cells appearing in several buckets
+}
+
+// init sizes the index for the given grid and covered cell list (ascending
+// flat order), and assigns each cell its packed coordinate key.
+func (x *cellIndex) init(g *grid.Grid, cells []*cell) {
+	x.g = g
+	x.d = g.Dims()
+	if g.NumCells() <= denseLimit {
+		x.dense = make([]*cell, g.NumCells())
+	}
+	x.minC = make([]int, x.d)
+	x.maxC = make([]int, x.d)
+	x.packed = x.d <= 8
+	for i := range x.minC {
+		x.minC[i] = g.CellsPerDim(i)
+		x.maxC[i] = -1
+		if g.CellsPerDim(i) > 128 {
+			x.packed = false
+		}
+	}
+	x.buckets = make([][][]bucketEntry, x.d)
+	for i := range x.buckets {
+		x.buckets[i] = make([][]bucketEntry, g.CellsPerDim(i))
+	}
+	for _, c := range cells {
+		if x.dense != nil {
+			x.dense[c.flat] = c
+		}
+		if x.packed {
+			c.key = packKey(c.coords)
+		}
+		for i, v := range c.coords {
+			if v < x.minC[i] {
+				x.minC[i] = v
+			}
+			if v > x.maxC[i] {
+				x.maxC[i] = v
+			}
+		}
+	}
+}
+
+// packKey packs coordinates into 8-bit lanes (dimension i in bits 8i..8i+7).
+func packKey(coords []int) uint64 {
+	var k uint64
+	for i, v := range coords {
+		k |= uint64(v) << (8 * i)
+	}
+	return k
+}
+
+// addPopulated registers a newly populated cell in every dimension bucket,
+// keeping buckets sorted by flat id.
+func (x *cellIndex) addPopulated(c *cell) {
+	e := bucketEntry{flat: c.flat, key: c.key, c: c}
+	for i, v := range c.coords {
+		b := x.buckets[i][v]
+		pos := bucketSplit(b, c.flat)
+		b = append(b, bucketEntry{})
+		copy(b[pos+1:], b[pos:])
+		b[pos] = e
+		x.buckets[i][v] = b
+	}
+}
+
+// bucketSplit returns the first index whose entry has flat ≥ the given id.
+func bucketSplit(b []bucketEntry, flat int) int {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b[mid].flat < flat {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// stamp opens a fresh visit epoch and pre-visits c (so bucket walks skip it).
+func (x *cellIndex) stamp(c *cell) int {
+	x.epoch++
+	c.visited = x.epoch
+	return x.epoch
+}
+
+// lowerBoxVolume returns the number of grid cells in the closed box
+// [minC, coords], the candidate count of a lower-orthant enumeration.
+func (x *cellIndex) lowerBoxVolume(coords []int) int {
+	v := 1
+	for i, c := range coords {
+		v *= c - x.minC[i] + 1
+	}
+	return v
+}
+
+// firstActiveInLowerBox returns the active cell with the smallest flat id
+// inside the closed lower orthant of coords, enumerating the coordinate box
+// in ascending flat order over the dense array. Requires dense mode.
+func (x *cellIndex) firstActiveInLowerBox(coords []int) *cell {
+	// Row-major odometer starting at minC; the first active hit has the
+	// smallest flat id because flat order is lexicographic in coords.
+	cur := make([]int, 0, 8)
+	cur = append(cur, x.minC[:x.d]...)
+	flat := x.g.Flat(cur)
+	for {
+		if c := x.dense[flat]; c != nil && c.activeIdx >= 0 {
+			return c
+		}
+		i := x.d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			flat += x.g.Stride(i)
+			if cur[i] <= coords[i] {
+				break
+			}
+			flat -= (cur[i] - x.minC[i]) * x.g.Stride(i)
+			cur[i] = x.minC[i]
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// strictUpperBoxVolume returns the number of grid cells strictly above
+// coords in every dimension, clamped to the covered bounding box.
+func (x *cellIndex) strictUpperBoxVolume(coords []int) int {
+	v := 1
+	for i, c := range coords {
+		span := x.maxC[i] - c
+		if span <= 0 {
+			return 0
+		}
+		v *= span
+	}
+	return v
+}
+
+// eachInStrictUpperBox calls fn for every covered cell strictly above coords
+// in all dimensions. Requires dense mode and a non-empty box.
+func (x *cellIndex) eachInStrictUpperBox(coords []int, fn func(*cell)) {
+	cur := make([]int, 0, 8)
+	for i := range coords {
+		cur = append(cur, coords[i]+1)
+	}
+	flat := x.g.Flat(cur)
+	for {
+		if c := x.dense[flat]; c != nil {
+			fn(c)
+		}
+		i := x.d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			flat += x.g.Stride(i)
+			if cur[i] <= x.maxC[i] {
+				break
+			}
+			flat -= (cur[i] - coords[i] - 1) * x.g.Stride(i)
+			cur[i] = coords[i] + 1
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

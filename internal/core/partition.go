@@ -7,7 +7,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sort"
 
 	"progxe/internal/grid"
@@ -73,10 +72,12 @@ func partitionInput(rel *relation.Relation, maps *mapping.Set, side mapping.Side
 		return []*inputPartition{p}, nil
 	}
 
-	// Project the used attributes and bound them.
+	// Project the used attributes and bound them. One backing block for all
+	// projections keeps this O(1) allocations instead of O(N).
 	pts := make([][]float64, len(rel.Tuples))
+	block := make([]float64, len(rel.Tuples)*len(used))
 	for i, t := range rel.Tuples {
-		v := make([]float64, len(used))
+		v := block[i*len(used) : (i+1)*len(used) : (i+1)*len(used)]
 		for j, a := range used {
 			v[j] = t.Vals[a]
 		}
@@ -157,6 +158,3 @@ func checkProblem(p *smj.Problem) (*smj.Problem, int, error) {
 	}
 	return cp, cp.Maps.Dims(), nil
 }
-
-// cloneVals returns a copy of a float vector (helper for emitted results).
-func cloneVals(v []float64) []float64 { return slices.Clone(v) }

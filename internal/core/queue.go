@@ -1,71 +1,103 @@
 package core
 
-import "container/heap"
-
 // regionQueue is the inverted priority queue of Algorithm 1: live root
 // regions ordered by descending rank (Benefit/Cost), with deterministic
-// id-based tie-breaking. It supports in-place rank updates via fix.
+// id-based tie-breaking. It supports in-place rank updates via fix. The
+// heap is hand-rolled (rather than container/heap) so push/pop/fix stay
+// free of interface boxing and indirect calls on the scheduling path.
 type regionQueue struct {
 	items []*region
 }
 
-var _ heap.Interface = (*regionQueue)(nil)
-
-func (q *regionQueue) Len() int { return len(q.items) }
-
-func (q *regionQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+// before reports whether a takes priority over b.
+func (q *regionQueue) before(a, b *region) bool {
 	if a.rank != b.rank {
 		return a.rank > b.rank
 	}
 	return a.id < b.id
 }
 
-func (q *regionQueue) Swap(i, j int) {
+func (q *regionQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
 	q.items[i].heapIdx = i
 	q.items[j].heapIdx = j
 }
 
-// Push implements heap.Interface; use push instead.
-func (q *regionQueue) Push(x any) {
-	r := x.(*region)
-	r.heapIdx = len(q.items)
-	q.items = append(q.items, r)
+func (q *regionQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.items[i], q.items[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-// Pop implements heap.Interface; use pop instead.
-func (q *regionQueue) Pop() any {
+func (q *regionQueue) down(i int) {
 	n := len(q.items)
-	r := q.items[n-1]
-	q.items[n-1] = nil
-	q.items = q.items[:n-1]
-	r.heapIdx = -1
-	return r
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && q.before(q.items[r], q.items[l]) {
+			best = r
+		}
+		if !q.before(q.items[best], q.items[i]) {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
 }
 
 // push inserts a region.
-func (q *regionQueue) push(r *region) { heap.Push(q, r) }
+func (q *regionQueue) push(r *region) {
+	r.heapIdx = len(q.items)
+	q.items = append(q.items, r)
+	q.up(r.heapIdx)
+}
 
 // pop removes and returns the highest-ranked region, or nil if empty.
 func (q *regionQueue) pop() *region {
 	if len(q.items) == 0 {
 		return nil
 	}
-	return heap.Pop(q).(*region)
+	top := q.items[0]
+	q.removeAt(0)
+	return top
+}
+
+// removeAt deletes the element at heap position i.
+func (q *regionQueue) removeAt(i int) {
+	n := len(q.items) - 1
+	r := q.items[i]
+	if i != n {
+		q.swap(i, n)
+	}
+	q.items[n] = nil
+	q.items = q.items[:n]
+	r.heapIdx = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
 }
 
 // fix restores heap order after r's rank changed.
 func (q *regionQueue) fix(r *region) {
 	if r.heapIdx >= 0 {
-		heap.Fix(q, r.heapIdx)
+		q.down(r.heapIdx)
+		q.up(r.heapIdx)
 	}
 }
 
 // remove deletes r from the queue if present.
 func (q *regionQueue) remove(r *region) {
 	if r.heapIdx >= 0 {
-		heap.Remove(q, r.heapIdx)
+		q.removeAt(r.heapIdx)
 	}
 }
 

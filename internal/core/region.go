@@ -157,6 +157,8 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space
 		s.cellList = append(s.cellList, c)
 	}
 	sort.Slice(s.cellList, func(i, j int) bool { return s.cellList[i].flat < s.cellList[j].flat })
+	s.idx.init(g, s.cellList)
+	s.arena.d = d
 
 	// Static marking: cells whose LOWER point is dominated by the UPPER
 	// point of any guaranteed-populated region are non-contributing.
@@ -248,7 +250,7 @@ func progCount(s *space, r *region) int {
 	}
 	count := 0
 	for _, flat := range r.cells {
-		c := s.cells[flat]
+		c := s.cellAt(flat)
 		if c.marked || c.emitted {
 			continue
 		}
@@ -257,11 +259,21 @@ func progCount(s *space, r *region) int {
 			continue
 		}
 		free := true
-		for qi := 0; qi < len(s.active); qi += stride {
-			q := s.active[qi]
-			if q != c && grid.LeqAll(q.coords, c.coords) && remainingExcluding(q, r) != 0 {
-				free = false
-				break
+		if s.idx.packed {
+			for qi := 0; qi < len(s.active); qi += stride {
+				q := s.active[qi]
+				if q != c && keyLeq(q.key, c.key) && remainingExcluding(q, r) != 0 {
+					free = false
+					break
+				}
+			}
+		} else {
+			for qi := 0; qi < len(s.active); qi += stride {
+				q := s.active[qi]
+				if q != c && grid.LeqAll(q.coords, c.coords) && remainingExcluding(q, r) != 0 {
+					free = false
+					break
+				}
 			}
 		}
 		if free {

@@ -130,6 +130,10 @@ func (g *Grid) NumCells() int { return g.total }
 // CellsPerDim returns the number of cells along dimension i.
 func (g *Grid) CellsPerDim(i int) int { return g.cells[i] }
 
+// Stride returns the row-major flat-index stride of dimension i: adjacent
+// cells along dimension i differ by Stride(i) in flat index.
+func (g *Grid) Stride(i int) int { return g.stride[i] }
+
 // Bounds returns the grid's bounding box.
 func (g *Grid) Bounds() Bounds { return g.bounds }
 

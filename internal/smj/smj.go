@@ -105,6 +105,12 @@ func Decanonicalize(pref *preference.Pareto, v []float64) []float64 {
 
 // Result is one skyline result: the identifiers of the joined pair and the
 // mapped output vector (in the original preference orientation).
+//
+// Out is owned by the engine and must be treated as read-only: engines may
+// hand out internal buffers that stay live for the rest of the run (the
+// ProgXe core aliases its arena-backed survivor vectors, which later
+// dominance tests still read). It is safe to retain Out indefinitely;
+// callers that want to modify the values must clone the slice first.
 type Result struct {
 	LeftID  int64
 	RightID int64
@@ -113,7 +119,8 @@ type Result struct {
 
 // Sink receives progressively emitted results. Emit is called once per
 // result, in emission order; results emitted early are guaranteed by the
-// engine to belong to the final skyline.
+// engine to belong to the final skyline. Sinks must not mutate Result.Out
+// (see Result).
 type Sink interface {
 	Emit(Result)
 }
