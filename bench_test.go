@@ -10,6 +10,7 @@ package progxe_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -127,6 +128,36 @@ func BenchmarkFig11f(b *testing.B) { benchProgress(b, "11f", 600) }
 // Figure 12 a–b: d=5 at σ=0.1; anti-correlated is where SSMJ collapses.
 func BenchmarkFig12a(b *testing.B) { benchProgress(b, "12a", 500) }
 func BenchmarkFig12b(b *testing.B) { benchProgress(b, "12b", 500) }
+
+// BenchmarkParallelWorkers sweeps the parallel region-processing fan-out on
+// the Fig. 11f workload (the one with the largest tuple-level share). Every
+// sub-benchmark reports the workers and gomaxprocs it ran with, so recorded
+// series are comparable across machines; the emission stream is identical
+// at every worker count by construction.
+func BenchmarkParallelWorkers(b *testing.B) {
+	f, err := bench.FigureByID("11f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := f.Workload
+	wl.N = 600
+	p, err := wl.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := progxe.New(progxe.Options{Workers: workers})
+				if _, err := e.Run(p, discard{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
 
 // Figure 13 a–c: total execution time vs SSMJ across σ.
 func BenchmarkFig13a(b *testing.B) { benchTotalTime(b, "13a", 500) }

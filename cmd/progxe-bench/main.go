@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"progxe/internal/bench"
@@ -36,13 +37,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("progxe-bench", flag.ContinueOnError)
 	var (
-		figID    = fs.String("figure", "", "run a single figure (e.g. 10a, 11c, 12b, 13a)")
-		list     = fs.Bool("list", false, "list available figures")
-		series   = fs.Bool("series", false, "print downsampled progress curves")
-		plot     = fs.Bool("plot", false, "render progress figures as ASCII charts")
-		check    = fs.Bool("check", false, "evaluate the paper's qualitative claims against the runs")
-		csvDir   = fs.String("csv", "", "write per-figure series as CSV files into this directory")
-		jsonPath = fs.String("json", "", "write machine-readable per-figure results (engine, total-ms, first-ms, DomComparisons) to this file")
+		figID      = fs.String("figure", "", "run selected figures, comma-separated (e.g. 11f or 11f,13c)")
+		list       = fs.Bool("list", false, "list available figures")
+		series     = fs.Bool("series", false, "print downsampled progress curves")
+		plot       = fs.Bool("plot", false, "render progress figures as ASCII charts")
+		check      = fs.Bool("check", false, "evaluate the paper's qualitative claims against the runs")
+		csvDir     = fs.String("csv", "", "write per-figure series as CSV files into this directory")
+		jsonPath   = fs.String("json", "", "write machine-readable per-figure results (engine, total-ms, first-ms, DomComparisons) to this file")
+		workers    = fs.Int("workers", 0, "additionally run each ProgXe engine with this many parallel workers (adds \"(w=N)\" variants)")
+		baseline   = fs.String("baseline", "", "compare results against a committed BENCH_*.json and fail on ProgXe total-time regressions")
+		maxRegress = fs.Float64("max-regress", 0.2, "regression tolerance for -baseline (0.2 = fail beyond +20%)")
+		repeat     = fs.Int("repeat", 1, "run each cell this many times and keep the fastest (use ≥3 when gating with -baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,11 +66,14 @@ func run(args []string) error {
 
 	figs := bench.Figures()
 	if *figID != "" {
-		f, err := bench.FigureByID(*figID)
-		if err != nil {
-			return err
+		figs = figs[:0]
+		for _, id := range strings.Split(*figID, ",") {
+			f, err := bench.FigureByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			figs = append(figs, f)
 		}
-		figs = []bench.Figure{f}
 	}
 
 	start := time.Now()
@@ -75,7 +83,10 @@ func run(args []string) error {
 		if i > 0 {
 			fmt.Println()
 		}
-		runs := bench.RunFigure(f, os.Stdout, *series)
+		if *workers > 0 {
+			f.Engines = bench.AddWorkerVariants(f.Engines, *workers)
+		}
+		runs := bench.RunFigure(f, os.Stdout, *series, *repeat)
 		if *plot && f.Kind == bench.Progress {
 			bench.Plot(os.Stdout, runs, 64, 16)
 		}
@@ -87,7 +98,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		if *jsonPath != "" {
+		if *jsonPath != "" || *baseline != "" {
 			report.AddFigure(f, runs)
 		}
 	}
@@ -109,8 +120,41 @@ func run(args []string) error {
 			return fmt.Errorf("%d of %d shape checks failed", failed, len(verdicts))
 		}
 	}
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, &report, *maxRegress); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(os.Stderr, "\n%d figure(s) in %v (scale %.2g)\n",
 		len(figs), time.Since(start).Round(time.Millisecond), bench.Scale())
+	return nil
+}
+
+// compareBaseline checks the report's ProgXe totals against a committed
+// baseline (SSMJ-normalized wherever the figure carries the control run)
+// and fails on regressions beyond the tolerance.
+func compareBaseline(path string, report *bench.JSONReport, maxRegress float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	verdicts := bench.CompareReports(base, report, maxRegress)
+	fmt.Printf("\n# trajectory vs %s (tolerance +%.0f%%)\n", path, maxRegress*100)
+	if len(verdicts) == 0 {
+		fmt.Println("no comparable cells (different scale, figures, or worker counts)")
+		return nil
+	}
+	for _, v := range verdicts {
+		fmt.Println(v)
+	}
+	if regs := bench.Regressions(verdicts); len(regs) > 0 {
+		return fmt.Errorf("%d of %d trajectory cells regressed beyond +%.0f%%", len(regs), len(verdicts), maxRegress*100)
+	}
 	return nil
 }
 

@@ -53,6 +53,7 @@ func run(args []string, ready chan<- string) error {
 		maxRuns    = fs.Int("max-concurrent", 0, "max concurrent engine runs (0 = default 8); excess queries get 429")
 		runTimeout = fs.Duration("run-timeout", 0, "per-run wall-clock cap (0 = default 60s, negative = unlimited)")
 		writeStall = fs.Duration("write-stall", 0, "per-record write deadline for stalled clients (0 = default 30s, negative = none)")
+		maxWorkers = fs.Int("max-workers", 0, "cap for the per-request \"workers\" knob (0 = default GOMAXPROCS, negative = disable parallel runs)")
 		maxUpload  = fs.Int64("max-upload-bytes", 0, "CSV upload size cap in bytes (0 = default 64 MiB)")
 		defEngine  = fs.String("engine", "", "default engine for queries that name none (default progxe)")
 		demo       = fs.Bool("demo", false, "preload a demo workload: anti-correlated pair R, T (1000 rows, 3 dims)")
@@ -72,6 +73,7 @@ func run(args []string, ready chan<- string) error {
 		RunTimeout:        *runTimeout,
 		WriteStallTimeout: *writeStall,
 		MaxUploadBytes:    *maxUpload,
+		MaxRunWorkers:     *maxWorkers,
 		DefaultEngine:     *defEngine,
 	})
 

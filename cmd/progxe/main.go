@@ -48,6 +48,7 @@ func run(args []string) error {
 		engine    = fs.String("engine", "progxe", "engine: "+strings.Join(engines.Names(), " | "))
 		inCells   = fs.Int("input-cells", 0, "input grid cells per dimension (0 = auto)")
 		outCells  = fs.Int("output-cells", 0, "output grid cells per dimension (0 = auto)")
+		workers   = fs.Int("workers", 0, "parallel region-processing workers (ProgXe engines; 0 = serial, -1 = GOMAXPROCS); results are identical at any count")
 		stats     = fs.Bool("stats", false, "print run statistics to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress per-result output (timing only)")
 		explain   = fs.Bool("explain", false, "print the look-ahead plan and exit without executing")
@@ -97,7 +98,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	e, err := pickEngine(*engine, *inCells, *outCells, *trace)
+	e, err := pickEngine(*engine, *inCells, *outCells, *workers, *trace)
 	if err != nil {
 		return err
 	}
@@ -144,8 +145,8 @@ func loadCSV(path string) (*relation.Relation, error) {
 	return relation.ReadCSV(name, f)
 }
 
-func pickEngine(name string, inCells, outCells int, trace bool) (progxe.Engine, error) {
-	opts := progxe.Options{InputCells: inCells, OutputCells: outCells}
+func pickEngine(name string, inCells, outCells, workers int, trace bool) (progxe.Engine, error) {
+	opts := progxe.Options{InputCells: inCells, OutputCells: outCells, Workers: workers}
 	if trace {
 		opts.Trace = func(e core.Event) { fmt.Fprintln(os.Stderr, "trace:", e) }
 	}

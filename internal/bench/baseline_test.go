@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCommittedBaselinesCompareClean pins the trajectory contract on the
+// committed reports themselves: BENCH_3.json (this revision, measured on
+// the same machine as its predecessor) must compare against BENCH_2.json
+// without regressions at the CI tolerance, and the comparison must
+// actually cover ProgXe cells (a silently empty comparison would make the
+// CI gate vacuous).
+func TestCommittedBaselinesCompareClean(t *testing.T) {
+	open := func(p string) *JSONReport {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Skipf("committed baseline unavailable: %v", err)
+		}
+		defer f.Close()
+		r, err := ReadJSON(f)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		return r
+	}
+	base := open("../../BENCH_2.json")
+	cur := open("../../BENCH_3.json")
+	vs := CompareReports(base, cur, 0.2)
+	if len(vs) < 20 {
+		t.Fatalf("only %d comparable cells between committed baselines; the CI gate would be vacuous", len(vs))
+	}
+	normalized := 0
+	for _, v := range vs {
+		if v.Normalized {
+			normalized++
+		}
+	}
+	if normalized == 0 {
+		t.Fatal("no SSMJ-normalized cells; control-run indexing is broken")
+	}
+	if regs := Regressions(vs); len(regs) != 0 {
+		for _, v := range regs {
+			t.Error(v)
+		}
+		t.Fatalf("%d committed trajectory cells regressed", len(regs))
+	}
+}

@@ -146,7 +146,7 @@ func TestRunFigureSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs := RunFigure(f, &buf, true)
+	runs := RunFigure(f, &buf, true, 1)
 	if len(runs) != len(f.Engines) {
 		t.Fatalf("got %d runs", len(runs))
 	}
@@ -160,7 +160,7 @@ func TestRunFigureSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	runs = RunFigure(f13, &buf, false)
+	runs = RunFigure(f13, &buf, false, 1)
 	if len(runs) != len(f13.Engines)*len(f13.Sweep) {
 		t.Fatalf("sweep runs = %d", len(runs))
 	}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkReport(progxeMS, ssmjMS float64, workers int) *JSONReport {
+	return &JSONReport{
+		Scale: 1,
+		Figures: []JSONFigure{{
+			Figure: "13c",
+			Runs: []JSONRun{
+				{Engine: "ProgXe", N: 1800, Dims: 4, Dist: "anti-correlated", Sigma: 0.1, Workers: workers, TotalMS: progxeMS},
+				{Engine: "SSMJ", N: 1800, Dims: 4, Dist: "anti-correlated", Sigma: 0.1, TotalMS: ssmjMS},
+			},
+		}},
+	}
+}
+
+func TestCompareReportsNormalizesBySSMJ(t *testing.T) {
+	// The current machine is 2× slower across the board: raw totals double
+	// but the SSMJ-normalized ratio is unchanged, so nothing regresses.
+	base := mkReport(40, 160, 0)
+	cur := mkReport(80, 320, 0)
+	vs := CompareReports(base, cur, 0.2)
+	if len(vs) != 1 {
+		t.Fatalf("verdicts = %d, want 1", len(vs))
+	}
+	if !vs[0].Normalized || vs[0].Regressed {
+		t.Fatalf("uniformly slower machine flagged as regression: %+v", vs[0])
+	}
+
+	// A genuine ProgXe-only slowdown shows up through the control.
+	cur = mkReport(80, 160, 0)
+	vs = CompareReports(base, cur, 0.2)
+	if len(vs) != 1 || !vs[0].Regressed {
+		t.Fatalf("2× ProgXe regression not flagged: %+v", vs)
+	}
+	if len(Regressions(vs)) != 1 {
+		t.Fatal("Regressions() must surface the failing verdict")
+	}
+	if s := vs[0].String(); !strings.Contains(s, "✗") || !strings.Contains(s, "13c") {
+		t.Fatalf("verdict renders %q", s)
+	}
+}
+
+func TestCompareReportsMatchesWorkerCounts(t *testing.T) {
+	// A w=4 run has no serial counterpart in the baseline: skipped, not
+	// compared against the serial cell.
+	base := mkReport(40, 160, 0)
+	cur := mkReport(25, 160, 4)
+	if vs := CompareReports(base, cur, 0.2); len(vs) != 0 {
+		t.Fatalf("worker-count mismatch compared anyway: %+v", vs)
+	}
+}
+
+func TestCompareReportsSkipsMissingCells(t *testing.T) {
+	base := mkReport(40, 160, 0)
+	cur := mkReport(40, 160, 0)
+	cur.Figures[0].Runs[0].N = 999 // different workload scale
+	if vs := CompareReports(base, cur, 0.2); len(vs) != 0 {
+		t.Fatalf("mismatched workloads compared anyway: %+v", vs)
+	}
+}
+
+func TestCompareReportsRawFallback(t *testing.T) {
+	// Without an SSMJ control the totals compare raw.
+	base := mkReport(40, 160, 0)
+	cur := mkReport(60, 160, 0)
+	base.Figures[0].Runs = base.Figures[0].Runs[:1]
+	vs := CompareReports(base, cur, 0.2)
+	if len(vs) != 1 || vs[0].Normalized || !vs[0].Regressed {
+		t.Fatalf("raw fallback verdicts: %+v", vs)
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := mkReport(40, 160, 4)
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs == 0 {
+		t.Fatal("GoMaxProcs not recorded")
+	}
+	run := got.Figures[0].Runs[0]
+	if run.Workers != 4 || run.Engine != "ProgXe" {
+		t.Fatalf("round-trip run: %+v", run)
+	}
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken report must error")
+	}
+}
+
+func TestWithWorkersVariants(t *testing.T) {
+	specs := ComparisonEngines()
+	out := AddWorkerVariants(specs, 4)
+	// ProgXe and ProgXe+ gain variants; SSMJ does not.
+	if len(out) != len(specs)+2 {
+		t.Fatalf("AddWorkerVariants produced %d specs, want %d", len(out), len(specs)+2)
+	}
+	v := out[len(specs)]
+	if v.Name != "ProgXe (w=4)" || v.Workers != 4 {
+		t.Fatalf("variant spec: %+v", v)
+	}
+	if v.New() == nil {
+		t.Fatal("variant constructor broken")
+	}
+	if _, ok := specs[2].WithWorkers(4); ok {
+		t.Fatal("SSMJ must not grow a worker variant")
+	}
+}

@@ -2,19 +2,25 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"runtime"
 	"time"
 )
 
 // JSONRun is one engine execution in the machine-readable report: the
 // figures' headline quantities (total and first-result latency) plus the
-// work counters that perf work tracks across PRs.
+// work counters that perf work tracks across PRs. Workers records the
+// parallel region-processing fan-out the run used (0 = serial), so
+// trajectory comparisons only ever match serial against serial and w=n
+// against w=n.
 type JSONRun struct {
 	Engine         string  `json:"engine"`
 	N              int     `json:"n"`
 	Dims           int     `json:"dims"`
 	Dist           string  `json:"dist"`
 	Sigma          float64 `json:"sigma"`
+	Workers        int     `json:"workers,omitempty"`
 	TotalMS        float64 `json:"total_ms"`
 	FirstMS        float64 `json:"first_ms"`
 	Results        int     `json:"results"`
@@ -32,11 +38,12 @@ type JSONFigure struct {
 }
 
 // JSONReport is the document progxe-bench -json emits: one entry per
-// executed figure, carrying enough context (workload, scale) to compare
-// BENCH_*.json files across revisions.
+// executed figure, carrying enough context (workload, scale, GOMAXPROCS)
+// to compare BENCH_*.json files across revisions.
 type JSONReport struct {
-	Scale   float64      `json:"scale"`
-	Figures []JSONFigure `json:"figures"`
+	Scale      float64      `json:"scale"`
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	Figures    []JSONFigure `json:"figures"`
 }
 
 // AddFigure appends a figure's runs to the report.
@@ -53,6 +60,7 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 			Dims:           run.Workload.Dims,
 			Dist:           run.Workload.Dist.String(),
 			Sigma:          run.Workload.Sigma,
+			Workers:        run.Workers,
 			TotalMS:        float64(run.Total) / float64(time.Millisecond),
 			FirstMS:        float64(run.First) / float64(time.Millisecond),
 			Results:        run.Results,
@@ -71,7 +79,18 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 // committed BENCH_*.json baselines).
 func (r *JSONReport) WriteJSON(w io.Writer) error {
 	r.Scale = Scale()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadJSON parses a report previously written by WriteJSON (a committed
+// BENCH_*.json baseline).
+func ReadJSON(rd io.Reader) (*JSONReport, error) {
+	var r JSONReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	return &r, nil
 }

@@ -18,6 +18,7 @@ type ProgressPoint struct {
 type RunResult struct {
 	Engine   string
 	Workload Workload
+	Workers  int             // parallel region-processing workers (0 = serial)
 	Total    time.Duration   // wall-clock to complete result set
 	First    time.Duration   // time of the first emitted result (0 if none)
 	Points   []ProgressPoint // cumulative curve, one entry per emission
@@ -40,7 +41,7 @@ func Run(spec EngineSpec, w Workload) RunResult {
 
 // RunOn is Run against a pre-built problem (so sweeps can share data).
 func RunOn(spec EngineSpec, w Workload, p *smj.Problem) RunResult {
-	res := RunResult{Engine: spec.Name, Workload: w}
+	res := RunResult{Engine: spec.Name, Workload: w, Workers: spec.Workers}
 	e := spec.New()
 	start := time.Now()
 	count := 0

@@ -61,32 +61,70 @@ func (w Workload) Problem() (*smj.Problem, error) {
 }
 
 // EngineSpec names an engine and constructs fresh instances of it, so every
-// run starts from clean state.
+// run starts from clean state. ProgXe-family specs carry their core options
+// so worker-count variants can be derived (see WithWorkers); Workers
+// records the parallelism the spec runs with, for benchmark reports.
 type EngineSpec struct {
-	Name string
-	New  func() smj.Engine
+	Name    string
+	New     func() smj.Engine
+	Workers int
+	opts    *core.Options // nil for baselines without a parallel path
+}
+
+// progxeSpec builds a ProgXe-family spec from core options.
+func progxeSpec(name string, opts core.Options) EngineSpec {
+	o := opts
+	return EngineSpec{
+		Name:    name,
+		New:     func() smj.Engine { return core.New(o) },
+		Workers: o.Workers,
+		opts:    &o,
+	}
+}
+
+// WithWorkers derives a parallel variant of a ProgXe-family spec running
+// with n workers, reporting false for engines without a parallel path.
+func (s EngineSpec) WithWorkers(n int) (EngineSpec, bool) {
+	if s.opts == nil || n <= 0 {
+		return s, false
+	}
+	o := *s.opts
+	o.Workers = n
+	return progxeSpec(fmt.Sprintf("%s (w=%d)", s.Name, n), o), true
+}
+
+// AddWorkerVariants appends a w=n variant for every ProgXe-family spec in
+// the list, so one report carries serial and parallel runs side by side.
+func AddWorkerVariants(specs []EngineSpec, n int) []EngineSpec {
+	out := append([]EngineSpec(nil), specs...)
+	for _, s := range specs {
+		if v, ok := s.WithWorkers(n); ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // ProgXeEngines returns the four framework variants compared in §VI-B
 // (Fig. 10): ProgXe, ProgXe+, and both with random ordering.
 func ProgXeEngines() []EngineSpec {
 	return []EngineSpec{
-		{"ProgXe", func() smj.Engine { return core.New(core.Options{}) }},
-		{"ProgXe+", func() smj.Engine { return core.New(core.Options{PushThrough: true}) }},
-		{"ProgXe (No-Order)", func() smj.Engine { return core.New(core.Options{Ordering: core.OrderRandom, Seed: 1}) }},
-		{"ProgXe+ (No-Order)", func() smj.Engine {
-			return core.New(core.Options{Ordering: core.OrderRandom, PushThrough: true, Seed: 1})
-		}},
+		progxeSpec("ProgXe", core.Options{}),
+		progxeSpec("ProgXe+", core.Options{PushThrough: true}),
+		progxeSpec("ProgXe (No-Order)", core.Options{Ordering: core.OrderRandom, Seed: 1}),
+		progxeSpec("ProgXe+ (No-Order)", core.Options{Ordering: core.OrderRandom, PushThrough: true, Seed: 1}),
 	}
 }
 
 // ComparisonEngines returns the engines of the state-of-the-art comparison
-// (§VI-C, Figs. 11–13): ProgXe, ProgXe+ and SSMJ.
+// (§VI-C, Figs. 11–13): ProgXe, ProgXe+ and SSMJ. SSMJ doubles as the
+// machine-speed control for cross-revision trajectory comparisons (see
+// CompareReports).
 func ComparisonEngines() []EngineSpec {
 	return []EngineSpec{
-		{"ProgXe", func() smj.Engine { return core.New(core.Options{}) }},
-		{"ProgXe+", func() smj.Engine { return core.New(core.Options{PushThrough: true}) }},
-		{"SSMJ", func() smj.Engine { return &baseline.SSMJ{} }},
+		progxeSpec("ProgXe", core.Options{}),
+		progxeSpec("ProgXe+", core.Options{PushThrough: true}),
+		{Name: "SSMJ", New: func() smj.Engine { return &baseline.SSMJ{} }},
 	}
 }
 
@@ -94,9 +132,9 @@ func ComparisonEngines() []EngineSpec {
 // comparisons that §VI-C delegates to the technical report).
 func BlockingEngines() []EngineSpec {
 	return []EngineSpec{
-		{"JF-SL", func() smj.Engine { return &baseline.JFSL{} }},
-		{"JF-SL+", func() smj.Engine { return &baseline.JFSL{PushThrough: true} }},
-		{"SAJ", func() smj.Engine { return &baseline.SAJ{} }},
+		{Name: "JF-SL", New: func() smj.Engine { return &baseline.JFSL{} }},
+		{Name: "JF-SL+", New: func() smj.Engine { return &baseline.JFSL{PushThrough: true} }},
+		{Name: "SAJ", New: func() smj.Engine { return &baseline.SAJ{} }},
 	}
 }
 

@@ -43,7 +43,8 @@ type cell struct {
 	finalized bool      // regCount reached zero: no future tuples can map here
 	emitted   bool      // survivors already reported
 	activeIdx int       // position in space.active, -1 if not active
-	visited   int       // cellIndex epoch stamp (bucket-union dedup)
+	visited   int32     // cellIndex epoch stamp (bucket-union dedup)
+	seq       int32     // position in space.cellList (goroutine-local visit stamps)
 	key       uint64    // packed coordinate key (valid when the index is packed)
 	// minV/maxV are the componentwise min/max over the current survivors —
 	// the survivor summary. A cell can hold a dominator of t only if
@@ -205,6 +206,16 @@ func (s *space) insert(c *cell, leftID, rightID int64, v []float64) ([]float64, 
 	for _, x := range v {
 		sum += x
 	}
+	return s.insertSum(c, leftID, rightID, v, sum)
+}
+
+// insertSum is insert with the coordinate sum precomputed by the caller
+// (the parallel runner materializes sums in its candidate streams).
+func (s *space) insertSum(c *cell, leftID, rightID int64, v []float64, sum float64) ([]float64, bool) {
+	if c.marked {
+		s.stats.MappedDiscarded++
+		return nil, false
+	}
 	// Phase 1: can any existing survivor dominate the candidate? Dominator
 	// cells sit in the flat-id prefix of each bucket (componentwise ≤
 	// implies flat ≤); the packed-key test rejects incomparable cells in
@@ -235,9 +246,15 @@ func (s *space) insert(c *cell, leftID, rightID int64, v []float64) ([]float64, 
 			}
 		}
 	}
-	// Phase 2: the candidate survives; evict survivors it dominates (cells
-	// in the flat-id suffix of each bucket), then commit it to the arena.
-	epoch = s.idx.stamp(c)
+	return s.commitSurvivor(c, leftID, rightID, v, sum), true
+}
+
+// commitSurvivor runs phase 2 of the protocol for a candidate already known
+// to be undominated: evict survivors it dominates (cells in the flat-id
+// suffix of each bucket), then commit it to the arena.
+func (s *space) commitSurvivor(c *cell, leftID, rightID int64, v []float64, sum float64) []float64 {
+	packed := s.idx.packed
+	epoch := s.idx.stamp(c)
 	s.evictDominated(c, v, sum)
 	for i := 0; i < s.d; i++ {
 		b := s.idx.buckets[i][c.coords[i]]
@@ -264,14 +281,22 @@ func (s *space) insert(c *cell, leftID, rightID int64, v []float64) ([]float64, 
 	if !c.populated {
 		s.populate(c)
 	}
-	return cv, true
+	return cv
 }
 
 // dominatedWithin reports whether any survivor of p dominates the candidate
-// vector. The survivor summary refutes whole cells in O(d); otherwise the
-// scan walks the SFS-sorted buffer up to the sum cutoff (a dominator's sum
-// is strictly smaller than the candidate's).
+// vector, counting comparisons into the run stats.
 func (s *space) dominatedWithin(p *cell, v []float64, sum float64) bool {
+	return cellDominates(p, v, sum, &s.stats.DomComparisons)
+}
+
+// cellDominates reports whether any survivor of p dominates the candidate
+// vector, adding the comparisons performed to *comps (run stats on the
+// sequencer, a task-local counter in precheck workers). The survivor
+// summary refutes whole cells in O(d); otherwise the scan walks the
+// SFS-sorted buffer up to the sum cutoff (a dominator's sum is strictly
+// smaller than the candidate's).
+func cellDominates(p *cell, v []float64, sum float64, comps *int) bool {
 	if len(p.tuples) == 0 {
 		return false
 	}
@@ -282,7 +307,7 @@ func (s *space) dominatedWithin(p *cell, v []float64, sum float64) bool {
 	}
 	end := p.firstNotBelow(sum)
 	for j := 0; j < end; j++ {
-		s.stats.DomComparisons++
+		*comps++
 		if preference.DominatesMin(p.tuples[j].v, v) {
 			return true
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"runtime"
+	"sort"
 
 	"progxe/internal/join"
 	"progxe/internal/mapping"
@@ -69,6 +71,15 @@ type Options struct {
 	// Partitioning selects the input space-partitioning structure
 	// (uniform grid by default; kd median splits adapt to skew).
 	Partitioning Partitioning
+	// Workers enables parallel region processing. 0 (the default) runs the
+	// fully serial engine; n ≥ 1 runs n candidate-prefetch workers plus n
+	// phase-1 precheck workers alongside the sequencer; negative picks
+	// GOMAXPROCS. Any value yields a result stream (emissions, trace
+	// events, counters other than DomComparisons) byte-identical to the
+	// serial engine — parallelism changes wall-clock, never output. A
+	// smj.WithParallelism request on the RunContext context overrides this
+	// per run.
+	Workers int
 	// Trace, when non-nil, receives an Event for every region selection,
 	// region completion, region discard, and cell emission. Intended for
 	// debugging, demos and tests; adds no cost when nil.
@@ -184,15 +195,23 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 		return stats, err
 	}
 
+	workers := e.opts.Workers
+	if n, ok := smj.ParallelismFrom(ctx); ok {
+		workers = n
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	// Output space look-ahead (§III-A).
-	regions, pruned := buildRegions(lparts, rparts, cp.Maps)
+	regions, pruned := buildRegions(lparts, rparts, cp.Maps, workers)
 	stats.Regions = len(regions) + pruned
 	stats.RegionsPruned = pruned
 	outCells := e.opts.OutputCells
 	if outCells == 0 {
 		outCells = autoOutputCells(d)
 	}
-	s, err := buildSpace(regions, d, outCells, &stats)
+	s, err := buildSpace(regions, d, outCells, &stats, workers)
 	if err != nil {
 		return stats, err
 	}
@@ -228,6 +247,10 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 		outCells: outCells,
 		cancel:   cancel,
 	}
+	if workers > 0 && len(regions) > 0 {
+		run.pool = newPool(ctx, workers, s, regions, len(rparts), cp.Maps)
+		defer run.pool.stop()
+	}
 	if e.opts.Trace != nil {
 		s.traceEmit = func(c *cell, n int) {
 			run.emitTrace(Event{Kind: EventCellEmitted, Cell: c.flat, Survivors: n})
@@ -260,6 +283,7 @@ type runState struct {
 	order    []*region // fixed order for random/arrival policies
 	orderPos int
 	cancel   *smj.Canceler
+	pool     *pool // non-nil when parallel region processing is enabled
 
 	mapBuf   []float64
 	roundNew [][]float64 // surviving vectors inserted by the current region
@@ -280,13 +304,16 @@ func (r *runState) loop() error {
 	case OrderArrival:
 		r.order = append([]*region(nil), r.regions...)
 	default:
-		buildELGraph(r.regions)
+		buildELGraph(r.regions, r.workers())
 		for _, reg := range r.regions {
 			if reg.inDeg == 0 {
 				r.analyseRegion(reg)
 				r.queue.push(reg)
 			}
 		}
+	}
+	if r.pool != nil {
+		r.pool.start(r.prefetchOrder(), len(r.space.cellList))
 	}
 
 	for r.live > 0 {
@@ -306,6 +333,45 @@ func (r *runState) loop() error {
 		}
 	}
 	return nil
+}
+
+// workers reports the pool's worker count (0 when serial).
+func (r *runState) workers() int {
+	if r.pool == nil {
+		return 0
+	}
+	return r.pool.workers
+}
+
+// prefetchOrder ranks regions by expected scheduling order for the
+// prefetch workers: the fixed order for the random/arrival policies, and
+// initial roots by descending rank (then the rest by id) for the graph
+// policies. A mispredicted order costs pipeline overlap, never correctness.
+func (r *runState) prefetchOrder() []int32 {
+	order := make([]int32, 0, len(r.regions))
+	switch r.engine.opts.Ordering {
+	case OrderRandom, OrderArrival:
+		for _, reg := range r.order {
+			order = append(order, int32(reg.id))
+		}
+	default:
+		roots := append([]*region(nil), r.queue.items...)
+		sort.Slice(roots, func(i, j int) bool {
+			if roots[i].rank != roots[j].rank {
+				return roots[i].rank > roots[j].rank
+			}
+			return roots[i].id < roots[j].id
+		})
+		for _, reg := range roots {
+			order = append(order, int32(reg.id))
+		}
+		for _, reg := range r.regions {
+			if reg.inDeg != 0 {
+				order = append(order, int32(reg.id))
+			}
+		}
+	}
+	return order
 }
 
 // next picks the region for the upcoming tuple-level processing round.
@@ -374,22 +440,11 @@ func (r *runState) process(reg *region) error {
 	r.roundNew = r.roundNew[:0]
 	joinedBefore := r.stats.JoinResults
 
-	lt, rt := reg.a.tuples, reg.b.tuples
-	r.stats.JoinResults += join.Hash(lt, rt, func(li, ri int) bool {
-		if r.cancel.Check() != nil {
-			return false
-		}
-		v := r.problem.Maps.Map(lt[li].Vals, rt[ri].Vals, r.mapBuf)
-		c := r.space.cellAt(r.space.g.CellOf(v))
-		if c == nil {
-			// Cannot happen: the region's enclosure covers this cell.
-			return true
-		}
-		if cv, ok := r.space.insert(c, lt[li].ID, rt[ri].ID, v); ok {
-			r.roundNew = append(r.roundNew, cv)
-		}
-		return true
-	})
+	if r.pool != nil {
+		r.processPooled(reg)
+	} else {
+		r.processSerial(reg)
+	}
 
 	if err := r.cancel.Now(); err != nil {
 		return err
@@ -430,6 +485,73 @@ func (r *runState) process(reg *region) error {
 	return nil
 }
 
+// processSerial is the in-line tuple-level processing path: join, map and
+// insert one result at a time on the sequencer goroutine.
+func (r *runState) processSerial(reg *region) {
+	lt, rt := reg.a.tuples, reg.b.tuples
+	r.stats.JoinResults += join.Hash(lt, rt, func(li, ri int) bool {
+		if r.cancel.Check() != nil {
+			return false
+		}
+		v := r.problem.Maps.Map(lt[li].Vals, rt[ri].Vals, r.mapBuf)
+		c := r.space.cellAt(r.space.g.CellOf(v))
+		if c == nil {
+			// Cannot happen: the region's enclosure covers this cell.
+			return true
+		}
+		if cv, ok := r.space.insert(c, lt[li].ID, rt[ri].ID, v); ok {
+			r.roundNew = append(r.roundNew, cv)
+		}
+		return true
+	})
+}
+
+// processPooled consumes the region's (prefetched or inline-built)
+// candidate stream. Large rounds first run the phase-1 dominance check of
+// every candidate in parallel against the frozen pre-round space; the
+// sequencer then commits candidates in the canonical stream order. A
+// precheck rejection is final — a pre-round dominator (or, transitively,
+// whatever evicted it) still exists at the candidate's turn — so the
+// rejected majority skips its commit-time scans entirely; survivors re-run
+// the full current-state protocol, which also covers tuples inserted
+// earlier in the same round. The protocol outcome per candidate — and
+// therefore the whole observable run — is identical to processSerial.
+func (r *runState) processPooled(reg *region) {
+	buf, n := r.pool.take(reg, r.cancel)
+	cands := buf.cands[:n]
+	var rejected []bool
+	if n >= precheckMinCands {
+		rejected = r.pool.rejectedScratch(n)
+		r.stats.DomComparisons += r.pool.precheck(r.space, cands, rejected)
+	}
+	for k := range cands {
+		if r.cancel.Check() != nil {
+			break
+		}
+		cd := &cands[k]
+		c := r.space.cellAt(cd.flat)
+		if c == nil {
+			continue
+		}
+		if rejected != nil {
+			if c.marked {
+				// Marking may have happened mid-round; count exactly like
+				// the serial insert would at this candidate's turn.
+				r.stats.MappedDiscarded++
+				continue
+			}
+			if rejected[k] {
+				continue
+			}
+		}
+		if cv, ok := r.space.insertSum(c, cd.leftID, cd.rightID, cd.v, cd.sum); ok {
+			r.roundNew = append(r.roundNew, cv)
+		}
+	}
+	r.stats.JoinResults += n
+	r.pool.finish(reg)
+}
+
 // discard eliminates a live region without processing it: its cells'
 // RegCounts drain (possibly finalizing them) and its graph edges release.
 func (r *runState) discard(reg *region) {
@@ -441,6 +563,9 @@ func (r *runState) discard(reg *region) {
 	r.stats.RegionsDropped++
 	r.emitTrace(Event{Kind: EventRegionDiscarded, Region: reg.id})
 	r.queue.remove(reg)
+	if r.pool != nil {
+		r.pool.drop(reg)
+	}
 	r.space.regionDone(reg.cells)
 	r.releaseEdges(reg)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"progxe/internal/grid"
@@ -33,6 +34,10 @@ type Plan struct {
 func Explain(p *smj.Problem, opts Options) (Plan, error) {
 	var plan Plan
 	opts = opts.withDefaults()
+	if opts.Workers < 0 {
+		// Same normalization RunContext applies before the setup passes.
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	cp, d, err := checkProblem(p)
 	if err != nil {
 		return plan, err
@@ -57,7 +62,7 @@ func Explain(p *smj.Problem, opts Options) (Plan, error) {
 		plan.InputCells = autoCells(left.Len(), max(1, len(cp.Maps.UsedAttrs(mapping.Left))))
 	}
 
-	regions, pruned := buildRegions(lparts, rparts, cp.Maps)
+	regions, pruned := buildRegions(lparts, rparts, cp.Maps, opts.Workers)
 	plan.Regions = len(regions)
 	plan.RegionsPruned = pruned
 	for _, r := range regions {
@@ -70,7 +75,7 @@ func Explain(p *smj.Problem, opts Options) (Plan, error) {
 	}
 	plan.OutputCells = outCells
 	var stats smj.Stats
-	s, err := buildSpace(regions, d, outCells, &stats)
+	s, err := buildSpace(regions, d, outCells, &stats, opts.Workers)
 	if err != nil {
 		return plan, err
 	}
@@ -81,7 +86,7 @@ func Explain(p *smj.Problem, opts Options) (Plan, error) {
 		plan.OutputBounds = grid.Rect{Lower: b.Lo, Upper: b.Hi}
 	}
 
-	buildELGraph(regions)
+	buildELGraph(regions, opts.Workers)
 	for _, r := range regions {
 		plan.Edges += len(r.out)
 		if r.inDeg == 0 {

@@ -1,6 +1,10 @@
 package core
 
-import "progxe/internal/grid"
+import (
+	"math"
+
+	"progxe/internal/grid"
+)
 
 // denseLimit caps the size of the flat-id → *cell lookup array. Grids above
 // the cap (possible only with extreme manual OutputCells choices) fall back
@@ -48,6 +52,7 @@ type bucketEntry struct {
 type cellIndex struct {
 	g     *grid.Grid
 	d     int
+	all   []*cell // every covered cell (epoch-wrap stamp clearing)
 	dense []*cell // flat id → cell; nil for uncovered cells. nil slice = fallback mode.
 	minC  []int   // componentwise min coordinate over covered cells
 	maxC  []int   // componentwise max coordinate over covered cells
@@ -58,7 +63,7 @@ type cellIndex struct {
 	// buckets[i][v] lists populated cells whose i-th coordinate equals v,
 	// ascending by flat id.
 	buckets [][][]bucketEntry
-	epoch   int // visit stamp: dedups cells appearing in several buckets
+	epoch   int32 // visit stamp: dedups cells appearing in several buckets
 }
 
 // init sizes the index for the given grid and covered cell list (ascending
@@ -66,6 +71,7 @@ type cellIndex struct {
 func (x *cellIndex) init(g *grid.Grid, cells []*cell) {
 	x.g = g
 	x.d = g.Dims()
+	x.all = cells
 	if g.NumCells() <= denseLimit {
 		x.dense = make([]*cell, g.NumCells())
 	}
@@ -139,7 +145,15 @@ func bucketSplit(b []bucketEntry, flat int) int {
 }
 
 // stamp opens a fresh visit epoch and pre-visits c (so bucket walks skip it).
-func (x *cellIndex) stamp(c *cell) int {
+// Epochs are int32 to keep the cell struct compact; on the (pathological)
+// wrap every stamp is cleared so stale marks can never collide.
+func (x *cellIndex) stamp(c *cell) int32 {
+	if x.epoch == math.MaxInt32 {
+		x.epoch = 0
+		for _, q := range x.all {
+			q.visited = 0
+		}
+	}
 	x.epoch++
 	c.visited = x.epoch
 	return x.epoch

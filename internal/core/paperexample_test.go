@@ -39,7 +39,7 @@ func TestExample2RegionElimination(t *testing.T) {
 		mkPart(2, []float64{0, 0}, []float64{1, 1}),
 		mkPart(3, []float64{3, 3}, []float64{5, 5}),
 	}
-	regions, pruned := buildRegions(left, right, sumMaps2())
+	regions, pruned := buildRegions(left, right, sumMaps2(), 0)
 	// Region (0,2) = [(0,0),(2,2)] dominates the other three pairs, whose
 	// lower corners are (3,3), (3,3) and (6,6).
 	if pruned != 3 {
@@ -66,7 +66,7 @@ func TestNoEliminationAtSharedBoundary(t *testing.T) {
 		mkPart(1, []float64{1, 1}, []float64{2, 2}),
 	}
 	right := []*inputPartition{mkPart(2, []float64{1, 1}, []float64{1, 1})}
-	regions, pruned := buildRegions(left, right, sumMaps2())
+	regions, pruned := buildRegions(left, right, sumMaps2(), 0)
 	// Regions: [(1,1),(2,2)] and [(2,2),(3,3)] — upper of the first equals
 	// lower of the second.
 	if pruned != 1 || len(regions) != 1 {
@@ -92,12 +92,12 @@ func TestExample3StaticCellMarking(t *testing.T) {
 	}
 	right := []*inputPartition{mkPart(2, []float64{0, 0}, []float64{2, 2})}
 	maps := sumMaps2()
-	regions, pruned := buildRegions(left, right, maps)
+	regions, pruned := buildRegions(left, right, maps, 0)
 	if pruned != 0 || len(regions) != 2 {
 		t.Fatalf("pruned=%d regions=%d", pruned, len(regions))
 	}
 	var stats smj.Stats
-	s, err := buildSpace(regions, 2, 6, &stats)
+	s, err := buildSpace(regions, 2, 6, &stats, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +129,15 @@ func TestELGraphEdges(t *testing.T) {
 		mkPart(1, []float64{2, 0}, []float64{4.5, 2.5}),
 	}
 	right := []*inputPartition{mkPart(2, []float64{0, 0}, []float64{0, 0})}
-	regions, pruned := buildRegions(left, right, sumMaps2())
+	regions, pruned := buildRegions(left, right, sumMaps2(), 0)
 	if pruned != 0 || len(regions) != 2 {
 		t.Fatalf("pruned=%d regions=%d", pruned, len(regions))
 	}
 	var stats smj.Stats
-	if _, err := buildSpace(regions, 2, 9, &stats); err != nil {
+	if _, err := buildSpace(regions, 2, 9, &stats, 0); err != nil {
 		t.Fatal(err)
 	}
-	buildELGraph(regions)
+	buildELGraph(regions, 0)
 	a, b := regions[0], regions[1] // a = [(0,0),(2.5,2.5)], b = [(2,0),(4.5,2.5)]
 	hasEdge := func(x, y *region) bool {
 		for _, id := range x.out {
@@ -168,12 +168,12 @@ func TestCompleteElimination(t *testing.T) {
 		mkPart(1, []float64{2.2, 2.2}, []float64{3, 3}),
 	}
 	right := []*inputPartition{mkPart(2, []float64{0, 0}, []float64{0.4, 0.4})}
-	regions, _ := buildRegions(left, right, sumMaps2())
+	regions, _ := buildRegions(left, right, sumMaps2(), 0)
 	if len(regions) != 2 {
 		t.Skipf("expected 2 live regions, got %d", len(regions))
 	}
 	var stats smj.Stats
-	if _, err := buildSpace(regions, 2, 10, &stats); err != nil {
+	if _, err := buildSpace(regions, 2, 10, &stats, 0); err != nil {
 		t.Fatal(err)
 	}
 	a, b := regions[0], regions[1]
@@ -198,12 +198,12 @@ func TestProgCountDefinition2(t *testing.T) {
 	}
 	right := []*inputPartition{mkPart(2, []float64{0, 0}, []float64{0, 0})}
 	maps := sumMaps2()
-	regions, _ := buildRegions(left, right, maps)
+	regions, _ := buildRegions(left, right, maps, 0)
 	if len(regions) != 2 {
 		t.Fatalf("regions = %d", len(regions))
 	}
 	var stats smj.Stats
-	s, err := buildSpace(regions, 2, 8, &stats)
+	s, err := buildSpace(regions, 2, 8, &stats, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,9 +247,9 @@ func TestAnalyseRankOrdersByBenefitPerCost(t *testing.T) {
 		mkPart(1, []float64{2.5, 0}, []float64{5, 2}),
 	}
 	right := []*inputPartition{mkPart(2, []float64{0, 0}, []float64{0, 0})}
-	regions, _ := buildRegions(left, right, sumMaps2())
+	regions, _ := buildRegions(left, right, sumMaps2(), 0)
 	var stats smj.Stats
-	s, err := buildSpace(regions, 2, 8, &stats)
+	s, err := buildSpace(regions, 2, 8, &stats, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"progxe/internal/datagen"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// installYieldHook randomizes goroutine interleaving for the duration of a
+// test: worker loops call runtime.Gosched at pseudo-random points, so
+// repeated runs explore different schedules even on a single core. The hook
+// must be removed before the test ends (engine runs must not overlap hook
+// changes).
+func installYieldHook(t *testing.T, seed uint64) {
+	t.Helper()
+	var ctr atomic.Uint64
+	ctr.Store(seed)
+	yieldHook = func() {
+		// splitmix64 over an atomic counter: goroutine-safe pseudo-random
+		// yield decisions without shared-RNG locking.
+		x := ctr.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		if x%4 == 0 {
+			runtime.Gosched()
+		}
+	}
+	t.Cleanup(func() { yieldHook = nil })
+}
+
+// recordRun executes one engine run and returns the emission stream and
+// stats.
+func recordRun(t *testing.T, p *smj.Problem, opts Options) ([]smj.Result, smj.Stats) {
+	t.Helper()
+	var got []smj.Result
+	stats, err := New(opts).Run(p, smj.SinkFunc(func(r smj.Result) {
+		got = append(got, smj.Result{LeftID: r.LeftID, RightID: r.RightID, Out: slices.Clone(r.Out)})
+	}))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got, stats
+}
+
+func sameRuns(a, b []smj.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LeftID != b[i].LeftID || a[i].RightID != b[i].RightID || !slices.Equal(a[i].Out, b[i].Out) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelDeterminism is the scheduling-pressure property test: the
+// parallel engine runs the same problem repeatedly under randomized
+// runtime.Gosched injection and varying GOMAXPROCS, and every run must
+// reproduce the serial emission stream exactly — including DomComparisons,
+// which for a FIXED worker count is a deterministic function of the run
+// (chunk boundaries and scan verdicts do not depend on scheduling).
+func TestParallelDeterminism(t *testing.T) {
+	p := smokeProblem(t, 500, 3, datagen.AntiCorrelated, 0.05, 1234)
+	serial, serialStats := recordRun(t, p, Options{})
+
+	defer func(old int) { precheckMinCands = old }(precheckMinCands)
+	precheckMinCands = 1 // every round through the parallel precheck
+	for _, workers := range []int{1, 3} {
+		var baseStats smj.Stats
+		for rep := 0; rep < 4; rep++ {
+			installYieldHook(t, uint64(workers*100+rep))
+			gmp := 1 + rep%3
+			old := runtime.GOMAXPROCS(gmp)
+			got, stats := recordRun(t, p, Options{Workers: workers})
+			runtime.GOMAXPROCS(old)
+			yieldHook = nil
+
+			if !sameRuns(got, serial) {
+				t.Fatalf("workers=%d rep=%d (GOMAXPROCS=%d): emission stream diverges from serial", workers, rep, gmp)
+			}
+			ns, ss := stats, serialStats
+			ns.DomComparisons, ss.DomComparisons = 0, 0
+			if ns != ss {
+				t.Fatalf("workers=%d rep=%d: stats diverge from serial: %+v vs %+v", workers, rep, ns, ss)
+			}
+			if rep == 0 {
+				baseStats = stats
+			} else if stats != baseStats {
+				t.Fatalf("workers=%d rep=%d: run-to-run stats diverge: %+v vs %+v", workers, rep, stats, baseStats)
+			}
+		}
+	}
+}
+
+// parallelFixture builds a single-region problem with a non-trivial join
+// fan-out for driving the pool's stream construction directly.
+func parallelFixture(t *testing.T) (*pool, *region, *space) {
+	t.Helper()
+	mk := func(id int, n int) *inputPartition {
+		p := newPartition(id, 2)
+		for i := 0; i < n; i++ {
+			p.add(relation.Tuple{
+				ID:      int64(id*1000 + i),
+				Vals:    []float64{float64(i%7) * 0.5, float64((i*3)%11) * 0.4},
+				JoinKey: int64(i % 5),
+			})
+		}
+		return p
+	}
+	left := []*inputPartition{mk(0, 40)}
+	right := []*inputPartition{mk(0, 35)}
+	regions, _ := buildRegions(left, right, sumMaps2(), 0)
+	if len(regions) != 1 || regions[0].joinCard == 0 {
+		t.Fatalf("fixture: regions=%d", len(regions))
+	}
+	var stats smj.Stats
+	s, err := buildSpace(regions, 2, 8, &stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.emit = func(outTuple) {}
+	return newPool(context.Background(), 1, s, regions, 1, sumMaps2()), regions[0], s
+}
+
+// TestWorkerStreamSteadyStateZeroAlloc pins the per-worker arena guarantee:
+// with the probe table cached and the candidate buffer at capacity,
+// materializing a region's stream performs no heap allocations at all —
+// the parallel runner adds no per-tuple (or per-region) allocation to the
+// steady state the serial arena already guarantees.
+func TestWorkerStreamSteadyStateZeroAlloc(t *testing.T) {
+	p, reg, _ := parallelFixture(t)
+	cancel := smj.NewCanceler(context.Background())
+	buf := &candBuf{}
+	if n := p.mapStream(reg, buf, cancel); n != reg.joinCard { // warm: table + buffers
+		t.Fatalf("stream produced %d candidates, want joinCard=%d", n, reg.joinCard)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.mapStream(reg, buf, cancel)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state stream construction allocates %.2f times per region, want 0", allocs)
+	}
+}
+
+// TestMapStreamMatchesSerialOrder verifies the canonical stream order: the
+// pool's candidate stream must replay join.Hash's emission order with the
+// exact vectors and sums the serial path computes.
+func TestMapStreamMatchesSerialOrder(t *testing.T) {
+	p, reg, s := parallelFixture(t)
+	buf := &candBuf{}
+	n := p.mapStream(reg, buf, smj.NewCanceler(context.Background()))
+
+	var want []cand
+	mapBuf := make([]float64, 2)
+	lt, rt := reg.a.tuples, reg.b.tuples
+	joinHashReplay(lt, rt, func(li, ri int) {
+		v := sumMaps2().Map(lt[li].Vals, rt[ri].Vals, mapBuf)
+		want = append(want, cand{
+			leftID: lt[li].ID, rightID: rt[ri].ID,
+			sum: sumOf(v), flat: s.g.CellOf(v), v: slices.Clone(v),
+		})
+	})
+	if n != len(want) {
+		t.Fatalf("stream has %d candidates, want %d", n, len(want))
+	}
+	for k := 0; k < n; k++ {
+		g, w := buf.cands[k], want[k]
+		if g.leftID != w.leftID || g.rightID != w.rightID || g.sum != w.sum || g.flat != w.flat || !slices.Equal(g.v, w.v) {
+			t.Fatalf("candidate %d diverges: %+v vs %+v", k, g, w)
+		}
+	}
+}
+
+// joinHashReplay re-implements join.Hash's deterministic emission order
+// (left outer, right build order inner) as an independent cross-check.
+func joinHashReplay(left, right []relation.Tuple, emit func(li, ri int)) {
+	build := map[int64][]int{}
+	for i, t := range right {
+		build[t.JoinKey] = append(build[t.JoinKey], i)
+	}
+	for li, t := range left {
+		for _, ri := range build[t.JoinKey] {
+			emit(li, ri)
+		}
+	}
+}
+
+// TestParallelCancellation aborts a parallel run mid-stream and verifies
+// the context error surfaces, already-emitted results are a prefix of the
+// serial stream, and the pool shuts down without leaking goroutines.
+func TestParallelCancellation(t *testing.T) {
+	p := smokeProblem(t, 600, 3, datagen.AntiCorrelated, 0.05, 77)
+	serial, _ := recordRun(t, p, Options{})
+	if len(serial) < 8 {
+		t.Fatalf("fixture too small: %d results", len(serial))
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []smj.Result
+	e := New(Options{Workers: 4})
+	_, err := e.RunContext(ctx, p, smj.SinkFunc(func(r smj.Result) {
+		got = append(got, smj.Result{LeftID: r.LeftID, RightID: r.RightID, Out: slices.Clone(r.Out)})
+		if len(got) == 4 {
+			cancel()
+		}
+	}))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) >= len(serial) {
+		t.Fatalf("canceled run emitted the whole stream (%d results)", len(got))
+	}
+	if !sameRuns(got, serial[:len(got)]) {
+		t.Fatal("canceled run is not a prefix of the serial stream")
+	}
+	// The deferred pool.stop ran before RunContext returned; give the
+	// runtime a moment to retire worker stacks, then compare.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestContextParallelismOverridesOptions verifies the smj.WithParallelism
+// plumbing: a per-run request overrides Options.Workers in both directions,
+// observable through DomComparisons (the one counter that legitimately
+// distinguishes the two execution strategies on precheck-heavy rounds).
+func TestContextParallelismOverridesOptions(t *testing.T) {
+	p := smokeProblem(t, 500, 3, datagen.AntiCorrelated, 0.05, 1234)
+	defer func(old int) { precheckMinCands = old }(precheckMinCands)
+	precheckMinCands = 1
+
+	_, serialStats := recordRun(t, p, Options{})
+	_, parallelStats := recordRun(t, p, Options{Workers: 2})
+	if serialStats.DomComparisons == parallelStats.DomComparisons {
+		t.Skip("fixture cannot distinguish serial from parallel execution")
+	}
+
+	run := func(opts Options, ctx context.Context) smj.Stats {
+		stats, err := New(opts).RunContext(ctx, p, smj.SinkFunc(func(smj.Result) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	forcedSerial := run(Options{Workers: 2}, smj.WithParallelism(context.Background(), 0))
+	if forcedSerial.DomComparisons != serialStats.DomComparisons {
+		t.Fatalf("WithParallelism(0) did not force the serial path: DomComparisons %d, want %d",
+			forcedSerial.DomComparisons, serialStats.DomComparisons)
+	}
+	forcedParallel := run(Options{}, smj.WithParallelism(context.Background(), 2))
+	if forcedParallel.DomComparisons != parallelStats.DomComparisons {
+		t.Fatalf("WithParallelism(2) did not force the parallel path: DomComparisons %d, want %d",
+			forcedParallel.DomComparisons, parallelStats.DomComparisons)
+	}
+}
+
+// TestParallelNegativeWorkersUsesGOMAXPROCS smoke-checks the Workers < 0
+// convention.
+func TestParallelNegativeWorkersUsesGOMAXPROCS(t *testing.T) {
+	p := smokeProblem(t, 300, 2, datagen.Independent, 0.05, 9)
+	serial, _ := recordRun(t, p, Options{})
+	got, _ := recordRun(t, p, Options{Workers: -1})
+	if !sameRuns(got, serial) {
+		t.Fatal("Workers=-1 diverges from serial")
+	}
+}
+
+// TestPoolDropReleasesInflight exercises the discard path: a workload with
+// region drops must still terminate with every in-flight slot returned
+// (the run would wedge its prefetch pipeline otherwise) and an identical
+// stream. The fixture was picked for a non-zero RegionsDropped count.
+func TestPoolDropReleasesInflight(t *testing.T) {
+	p := smokeProblem(t, 350, 3, datagen.Correlated, 0.01, 301)
+	serial, serialStats := recordRun(t, p, Options{})
+	got, stats := recordRun(t, p, Options{Workers: 2})
+	if !sameRuns(got, serial) {
+		t.Fatal("parallel run diverges from serial")
+	}
+	if stats.RegionsDropped != serialStats.RegionsDropped {
+		t.Fatalf("RegionsDropped: %d vs %d", stats.RegionsDropped, serialStats.RegionsDropped)
+	}
+	if serialStats.RegionsDropped == 0 {
+		t.Log("fixture produced no region drops; discard path not exercised here (covered by the differential grid)")
+	}
+}
+
+func TestWorkerSweepLabels(t *testing.T) {
+	sweep := workerSweep()
+	if len(sweep) < 3 || sweep[0] != 1 || sweep[1] != 2 || sweep[2] != 4 {
+		t.Fatalf("workerSweep() = %v, want {1,2,4[,NumCPU]}", sweep)
+	}
+	_ = fmt.Sprintf("%v", sweep)
+}
+
+// sumOf returns the coordinate sum of v (test-side mirror of the stream
+// construction's sum).
+func sumOf(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

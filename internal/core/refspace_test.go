@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"testing"
 
@@ -224,18 +225,111 @@ type emission struct {
 // set against baseline.Oracle, then replays its exact region schedule
 // through the naive reference space and demands identical emissions (order
 // included), identical cell/discard event sequences and identical counters.
+// Each cell of the grid additionally sweeps the parallel engine across
+// worker counts, demanding bit-for-bit identity with the serial run (and
+// therefore, transitively, with the naive reference). In -short mode the
+// sweep keeps one σ per dimension — the subset the race-detector CI job
+// runs on every PR.
 func TestDifferentialIndexedSpace(t *testing.T) {
 	dists := []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated}
 	ns := map[int]int{2: 400, 3: 350, 4: 300, 5: 250}
 	for d := 2; d <= 5; d++ {
 		for _, dist := range dists {
 			for _, sigma := range []float64{0.001, 0.01, 0.1} {
+				if testing.Short() && sigma != 0.01 {
+					continue
+				}
 				label := fmt.Sprintf("d=%d/%s/σ=%g", d, dist, sigma)
 				t.Run(label, func(t *testing.T) {
 					p := smokeProblem(t, ns[d], d, dist, sigma, uint64(100*d)+uint64(sigma*1000))
 					differentialCheck(t, p, Options{})
 				})
 			}
+		}
+	}
+}
+
+// workerSweep lists the worker counts every differential cell verifies
+// against the serial engine: the pipeline minimum, two, a typical core
+// count, and whatever this machine has.
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// runRecorded executes the engine built from opts over p, recording the
+// emission sequence, the full trace-event stream, and the run stats.
+func runRecorded(t *testing.T, p *smj.Problem, opts Options) ([]emission, []Event, smj.Stats) {
+	t.Helper()
+	var events []Event
+	var got []emission
+	opts.Trace = func(ev Event) {
+		events = append(events, ev)
+		if ev.Kind == EventCellEmitted {
+			// Back-fill the cell of the emissions this event covers.
+			for i := len(got) - ev.Survivors; i < len(got); i++ {
+				got[i].cell = ev.Cell
+			}
+		}
+	}
+	stats, err := New(opts).Run(p, smj.SinkFunc(func(res smj.Result) {
+		got = append(got, emission{cell: -1, leftID: res.LeftID, rightID: res.RightID, out: slices.Clone(res.Out)})
+	}))
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", opts.Workers, err)
+	}
+	return got, events, stats
+}
+
+// checkParallelMatchesSerial runs the worker sweep over p and demands that
+// every parallel run reproduces the serial run bit for bit: the emission
+// sequence (ids, cells and vectors), the complete trace-event stream
+// (region choices with ranks, processing, discards, cell emissions), and
+// every counter except DomComparisons, which reflects where comparisons
+// execute (precheck workers vs the sequencer), not what they decide.
+func checkParallelMatchesSerial(t *testing.T, p *smj.Problem, opts Options, serialEm []emission, serialEv []Event, serialStats smj.Stats) {
+	t.Helper()
+	defer func(old int) { precheckMinCands = old }(precheckMinCands)
+	for i, w := range workerSweep() {
+		// Force both pooled commit paths across the sweep: every round
+		// through the parallel precheck, then never, then the production
+		// threshold.
+		switch i {
+		case 0:
+			precheckMinCands = 1
+		case 1:
+			precheckMinCands = 1 << 30
+		default:
+			precheckMinCands = 256
+		}
+		popts := opts
+		popts.Workers = w
+		em, ev, stats := runRecorded(t, p, popts)
+		if len(em) != len(serialEm) {
+			t.Fatalf("workers=%d emitted %d results, serial %d", w, len(em), len(serialEm))
+		}
+		for i := range em {
+			g, s := em[i], serialEm[i]
+			if g.cell != s.cell || g.leftID != s.leftID || g.rightID != s.rightID || !slices.Equal(g.out, s.out) {
+				t.Fatalf("workers=%d emission %d diverges: parallel {cell %d (%d,%d) %v}, serial {cell %d (%d,%d) %v}",
+					w, i, g.cell, g.leftID, g.rightID, g.out, s.cell, s.leftID, s.rightID, s.out)
+			}
+		}
+		if len(ev) != len(serialEv) {
+			t.Fatalf("workers=%d produced %d trace events, serial %d", w, len(ev), len(serialEv))
+		}
+		for i := range ev {
+			if ev[i] != serialEv[i] {
+				t.Fatalf("workers=%d event %d diverges: parallel %v, serial %v", w, i, ev[i], serialEv[i])
+			}
+		}
+		ns, ss := stats, serialStats
+		ns.DomComparisons, ss.DomComparisons = 0, 0
+		if ns != ss {
+			t.Fatalf("workers=%d stats diverge: parallel %+v, serial %+v", w, ns, ss)
 		}
 	}
 }
@@ -301,13 +395,13 @@ func differentialCheck(t *testing.T, p *smj.Problem, opts Options) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	regions, _ := buildRegions(lparts, rparts, cp.Maps)
+	regions, _ := buildRegions(lparts, rparts, cp.Maps, 0)
 	outCells := e.opts.OutputCells
 	if outCells == 0 {
 		outCells = autoOutputCells(d)
 	}
 	var buildStats smj.Stats
-	s, err := buildSpace(regions, d, outCells, &buildStats)
+	s, err := buildSpace(regions, d, outCells, &buildStats, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,6 +519,10 @@ func differentialCheck(t *testing.T, p *smj.Problem, opts Options) {
 			t.Fatalf("reference retained unemitted survivors in cell %d", c.flat)
 		}
 	}
+
+	// 5. Worker sweep: parallel runs must reproduce the (now reference-
+	// validated) serial run bit for bit.
+	checkParallelMatchesSerial(t, p, opts, got, events, stats)
 }
 
 // TestDifferentialEngineVariants replays the differential check under the

@@ -49,8 +49,10 @@ type region struct {
 // signatures intersect (guaranteed populated), computes their output
 // enclosures via interval propagation, and applies region-level domination
 // pruning (Output Space Look-Ahead step 1). The returned regions are live;
-// pruned is the count eliminated before any tuple work.
-func buildRegions(left, right []*inputPartition, maps *mapping.Set) (regions []*region, pruned int) {
+// pruned is the count eliminated before any tuple work. The O(n²) pruning
+// scan fans out across workers; each index's verdict is independent, so the
+// result is identical for any worker count.
+func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int) (regions []*region, pruned int) {
 	var all []*region
 	for _, a := range left {
 		for _, b := range right {
@@ -73,16 +75,23 @@ func buildRegions(left, right []*inputPartition, maps *mapping.Set) (regions []*
 	// region that is itself pruned stays sound: the domination relation over
 	// enclosures is acyclic and chains down to a surviving witness region.
 	dominated := make([]bool, len(all))
-	for i, x := range all {
-		for j, y := range all {
-			if i == j {
-				continue
+	parfor(len(all), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := all[i]
+			for j, y := range all {
+				if i == j {
+					continue
+				}
+				if y.rect.DominatesRect(x.rect) {
+					dominated[i] = true
+					break
+				}
 			}
-			if y.rect.DominatesRect(x.rect) {
-				dominated[i] = true
-				pruned++
-				break
-			}
+		}
+	})
+	for _, d := range dominated {
+		if d {
+			pruned++
 		}
 	}
 	for i, r := range all {
@@ -99,8 +108,13 @@ func buildRegions(left, right []*inputPartition, maps *mapping.Set) (regions []*
 
 // buildSpace lays the output grid over the union of the live regions'
 // enclosures, computes cell coverage and RegCounts, applies static cell
-// marking (Example 3), and initializes the Dom/Dependent counters.
-func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space, error) {
+// marking (Example 3), and initializes the Dom/Dependent counters. The
+// per-region coverage enumeration and the per-cell static-marking verdicts
+// fan out across workers — both write only region-local (resp. index-local)
+// state — while cell creation and the mark sweep stay serial and in
+// deterministic order, so the built space is identical for any worker
+// count.
+func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats, workers int) (*space, error) {
 	if len(regions) == 0 {
 		return &space{d: d, cells: map[int]*cell{}, stats: stats}, nil
 	}
@@ -118,18 +132,22 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space
 	}
 	s := &space{d: d, g: g, cells: make(map[int]*cell), stats: stats}
 
-	// Coverage: which regions can deposit tuples into which cells.
-	var scratch []int
-	for _, r := range regions {
-		scratch = g.CellsOverlapping(r.rect, scratch[:0])
-		r.cells = append(r.cells[:0], scratch...)
-		sort.Ints(r.cells)
-		r.minC = make([]int, d)
-		r.maxC = make([]int, d)
-		for i := range r.minC {
-			r.minC[i] = math.MaxInt
-			r.maxC[i] = -1
+	// Coverage: which regions can deposit tuples into which cells. Each
+	// region's cell set and coordinate box depend only on the region, and
+	// the covered set is a full coordinate box in ascending flat order, so
+	// the box corners are the first and last flat ids.
+	parfor(len(regions), workers, func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			r := regions[ri]
+			r.cells = g.CellsOverlapping(r.rect, r.cells[:0])
+			sort.Ints(r.cells)
+			r.minC = make([]int, d)
+			r.maxC = make([]int, d)
+			g.Coords(r.cells[0], r.minC)
+			g.Coords(r.cells[len(r.cells)-1], r.maxC)
 		}
+	})
+	for _, r := range regions {
 		for _, flat := range r.cells {
 			c := s.cells[flat]
 			if c == nil {
@@ -142,14 +160,6 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space
 			}
 			c.coveredBy = append(c.coveredBy, r.id)
 			c.regCount++
-			for i, v := range c.coords {
-				if v < r.minC[i] {
-					r.minC[i] = v
-				}
-				if v > r.maxC[i] {
-					r.maxC[i] = v
-				}
-			}
 		}
 	}
 	s.cellList = make([]*cell, 0, len(s.cells))
@@ -157,17 +167,31 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space
 		s.cellList = append(s.cellList, c)
 	}
 	sort.Slice(s.cellList, func(i, j int) bool { return s.cellList[i].flat < s.cellList[j].flat })
+	for i, c := range s.cellList {
+		c.seq = int32(i)
+	}
 	s.idx.init(g, s.cellList)
 	s.arena.d = d
 
 	// Static marking: cells whose LOWER point is dominated by the UPPER
-	// point of any guaranteed-populated region are non-contributing.
-	for _, c := range s.cellList {
-		for _, r := range regions {
-			if preference.DominatesMin(r.rect.Upper, c.lower) {
-				s.mark(c)
-				break
+	// point of any guaranteed-populated region are non-contributing. The
+	// verdicts are computed in parallel; the marks are applied serially in
+	// cell-list order so counters match the serial build exactly.
+	staticMark := make([]bool, len(s.cellList))
+	parfor(len(s.cellList), workers, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := s.cellList[ci]
+			for _, r := range regions {
+				if preference.DominatesMin(r.rect.Upper, c.lower) {
+					staticMark[ci] = true
+					break
+				}
 			}
+		}
+	})
+	for ci, c := range s.cellList {
+		if staticMark[ci] {
+			s.mark(c)
 		}
 	}
 
@@ -188,28 +212,62 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats) (*space
 // iff some output partition of X strictly dominates some partition of Y,
 // which for the coordinate boxes reduces to minC(X) < maxC(Y) in every
 // dimension. Complete elimination additionally requires minC(X) < minC(Y)
-// everywhere; both kinds produce the same edge (Fig. 6 a–b).
-func buildELGraph(regions []*region) {
-	// Two passes: count out-degrees first so edge slices are allocated
-	// exactly once (dense graphs otherwise churn the allocator).
-	counts := make([]int, len(regions))
-	for i, x := range regions {
-		for j, y := range regions {
-			if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-				counts[i]++
-				y.inDeg++
+// everywhere; both kinds produce the same edge (Fig. 6 a–b). The O(n²)
+// edge scan fans out across workers — each source region's adjacency is
+// independent — with in-degrees accumulated serially afterwards, so the
+// graph is identical for any worker count.
+func buildELGraph(regions []*region, workers int) {
+	if workers <= 1 || len(regions) < parforMin {
+		// Serial fast path: count out-degrees and in-degrees in one pass,
+		// then fill the edge slices (allocated exactly once).
+		counts := make([]int, len(regions))
+		for i, x := range regions {
+			for j, y := range regions {
+				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+					counts[i]++
+					y.inDeg++
+				}
 			}
 		}
+		for i, x := range regions {
+			if counts[i] == 0 {
+				continue
+			}
+			x.out = make([]int, 0, counts[i])
+			for j, y := range regions {
+				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+					x.out = append(x.out, y.id)
+				}
+			}
+		}
+		return
 	}
-	for i, x := range regions {
-		if counts[i] == 0 {
-			continue
-		}
-		x.out = make([]int, 0, counts[i])
-		for j, y := range regions {
-			if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-				x.out = append(x.out, y.id)
+	parfor(len(regions), workers, func(lo, hi int) {
+		// Two passes per source: count the out-degree first so each edge
+		// slice is allocated exactly once (dense graphs otherwise churn
+		// the allocator).
+		for i := lo; i < hi; i++ {
+			x := regions[i]
+			count := 0
+			for j, y := range regions {
+				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+					count++
+				}
 			}
+			if count == 0 {
+				continue
+			}
+			x.out = make([]int, 0, count)
+			for j, y := range regions {
+				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
+					x.out = append(x.out, y.id)
+				}
+			}
+		}
+	})
+	for _, x := range regions {
+		for _, id := range x.out {
+			regions[id].inDeg++
 		}
 	}
 }

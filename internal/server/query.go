@@ -30,13 +30,22 @@ type QueryRequest struct {
 	// Limit stops the run after this many results (0 = stream everything).
 	// The truncated stream still only contains final skyline members.
 	Limit int `json:"limit,omitempty"`
+	// Workers requests parallel region processing with this many worker
+	// goroutines (ProgXe engines only; others ignore it). The value is
+	// clamped to the server's MaxRunWorkers cap. Parallel runs stream the
+	// exact same results in the exact same order as serial ones — this
+	// knob trades CPU for latency, never determinism. 0 (the default)
+	// runs serial.
+	Workers int `json:"workers,omitempty"`
 }
 
-// runRecord heads every stream: the resolved engine and output dimensions.
+// runRecord heads every stream: the resolved engine, output dimensions,
+// and the worker count granted after clamping.
 type runRecord struct {
-	Type   string   `json:"type"` // "run"
-	Engine string   `json:"engine"`
-	Dims   []string `json:"dims"`
+	Type    string   `json:"type"` // "run"
+	Engine  string   `json:"engine"`
+	Dims    []string `json:"dims"`
+	Workers int      `json:"workers,omitempty"`
 }
 
 // resultRecord carries one progressively emitted result.
@@ -225,6 +234,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
+	// Per-request parallelism, clamped by the server cap. The request is
+	// threaded through the context so any ContextEngine can honor it; the
+	// run record reports what was granted.
+	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	if workers > s.cfg.MaxRunWorkers {
+		workers = s.cfg.MaxRunWorkers
+	}
+	if workers > 0 {
+		ctx = smj.WithParallelism(ctx, workers)
+	}
 	// Service shutdown aborts in-flight runs so graceful drains finish
 	// within their window instead of waiting out every stream.
 	defer context.AfterFunc(s.runCtx, cancelRun)()
@@ -238,7 +260,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", Engine: engine.Name(), Dims: p.Maps.Names()})
+	sw.record("run", runRecord{Type: "run", Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers})
 
 	s.metrics.runStarted()
 	start := time.Now()

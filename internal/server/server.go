@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"progxe/internal/datagen"
@@ -85,6 +86,14 @@ type Config struct {
 	// sink write forever — past every context deadline — and pin an
 	// admission slot. Default 30s; negative disables the deadline.
 	WriteStallTimeout time.Duration
+	// MaxRunWorkers caps the per-request "workers" knob (parallel region
+	// processing). Requests asking for more are clamped, not rejected —
+	// parallelism changes latency, never results. Together with
+	// MaxConcurrentRuns this bounds the total engine goroutines at
+	// MaxConcurrentRuns × (2·MaxRunWorkers + 1): admission control limits
+	// how many runs execute, this limits how wide each may fan out.
+	// Default GOMAXPROCS; negative disables per-request parallelism.
+	MaxRunWorkers int
 	// DefaultEngine is used when a query request names none. Default "progxe".
 	DefaultEngine string
 	// NewEngine overrides engine construction — a seam for tests to inject
@@ -119,6 +128,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteStallTimeout == 0 {
 		c.WriteStallTimeout = defaultWriteStallTimeout
+	}
+	if c.MaxRunWorkers == 0 {
+		c.MaxRunWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxRunWorkers < 0 {
+		c.MaxRunWorkers = 0 // per-request parallelism disabled
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = defaultEngine

@@ -1,0 +1,27 @@
+package smj
+
+import (
+	"context"
+	"testing"
+)
+
+func TestWithParallelism(t *testing.T) {
+	if n, ok := ParallelismFrom(context.Background()); ok || n != 0 {
+		t.Fatalf("unset context reports (%d, %v)", n, ok)
+	}
+	if n, ok := ParallelismFrom(nil); ok || n != 0 {
+		t.Fatalf("nil context reports (%d, %v)", n, ok)
+	}
+	ctx := WithParallelism(context.Background(), 4)
+	if n, ok := ParallelismFrom(ctx); !ok || n != 4 {
+		t.Fatalf("ParallelismFrom = (%d, %v), want (4, true)", n, ok)
+	}
+	// An explicit zero is a request (force serial), distinct from unset.
+	ctx = WithParallelism(ctx, 0)
+	if n, ok := ParallelismFrom(ctx); !ok || n != 0 {
+		t.Fatalf("override = (%d, %v), want (0, true)", n, ok)
+	}
+	if ctx := WithParallelism(nil, 2); ctx == nil {
+		t.Fatal("nil parent must yield a usable context")
+	}
+}

@@ -77,6 +77,15 @@ func RunContext(ctx context.Context, e Engine, p *Problem, sink Sink) (Stats, er
 	return smj.RunContext(ctx, e, p, sink)
 }
 
+// WithParallelism returns a context requesting that the run use n worker
+// goroutines for parallel region processing (ProgXe engines; overrides
+// Options.Workers for that run, with n = 0 forcing serial). Parallelism
+// never changes the result stream: a parallel run emits byte-identical
+// results in identical order to a serial one.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	return smj.WithParallelism(ctx, n)
+}
+
 // Relational substrate types.
 type (
 	// Relation is an in-memory table.
