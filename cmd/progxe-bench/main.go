@@ -55,11 +55,7 @@ func run(args []string) error {
 
 	if *list {
 		for _, f := range bench.Figures() {
-			kind := "progress"
-			if f.Kind == bench.TotalTime {
-				kind = "total-time"
-			}
-			fmt.Printf("%-4s %-10s %s\n", f.ID, kind, f.Caption)
+			fmt.Printf("%-4s %-11s %s\n", f.ID, f.Kind, f.Caption)
 		}
 		return nil
 	}

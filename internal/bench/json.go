@@ -26,7 +26,13 @@ type JSONRun struct {
 	Results        int     `json:"results"`
 	DomComparisons int     `json:"dom_comparisons"`
 	JoinResults    int     `json:"join_results"`
-	Error          string  `json:"error,omitempty"`
+	// Regions records the run's output-region count (live + pruned), the
+	// scheduling load of the cell — trajectory comparisons can normalize
+	// by it when workloads are re-scaled.
+	Regions int `json:"regions,omitempty"`
+	// SchedEdges records the EL-Graph size the scheduler managed.
+	SchedEdges int    `json:"sched_edges,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // JSONFigure groups the runs of one reproduced figure.
@@ -48,11 +54,7 @@ type JSONReport struct {
 
 // AddFigure appends a figure's runs to the report.
 func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
-	kind := "progress"
-	if f.Kind == TotalTime {
-		kind = "total-time"
-	}
-	jf := JSONFigure{Figure: f.ID, Caption: f.Caption, Kind: kind}
+	jf := JSONFigure{Figure: f.ID, Caption: f.Caption, Kind: f.Kind.String()}
 	for _, run := range runs {
 		jr := JSONRun{
 			Engine:         run.Engine,
@@ -66,6 +68,8 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 			Results:        run.Results,
 			DomComparisons: run.Stats.DomComparisons,
 			JoinResults:    run.Stats.JoinResults,
+			Regions:        run.Stats.Regions,
+			SchedEdges:     run.Stats.SchedEdges,
 		}
 		if run.Err != nil {
 			jr.Error = run.Err.Error()

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"progxe/internal/core"
+	"progxe/internal/core/sched"
+	"progxe/internal/datagen"
+)
+
+// TestSchedSetupFigureSmoke drives the S1 harness end to end on a shrunken
+// fine-partition problem: both scheduler variants must agree on the region
+// count, the edge total, and the complete pop sequence over the real
+// (engine-built) region geometry — the randomized property test's
+// complement with production boxes.
+func TestSchedSetupFigureSmoke(t *testing.T) {
+	wl := Workload{N: 2000, Dims: 3, Dist: datagen.AntiCorrelated, Sigma: 0.001, Seed: 41}
+	p, err := wl.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes, dims, err := core.PlanBoxes(p, core.Options{Partitioning: core.PartitionKD, InputCells: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) < 200 {
+		t.Fatalf("fixture produced only %d regions", len(boxes))
+	}
+	inc := sched.NewProgressive(boxes, dims, schedRanker, 0)
+	batch := sched.NewBatch(boxes, dims, schedRanker, 0)
+	for {
+		ia, ra, oka := inc.Next()
+		ib, rb, okb := batch.Next()
+		if ia != ib || ra != rb || oka != okb {
+			t.Fatalf("pop diverges on engine-built boxes: (%d,%g,%v) vs (%d,%g,%v)", ia, ra, oka, ib, rb, okb)
+		}
+		if !oka {
+			break
+		}
+		inc.Complete(ia)
+		batch.Complete(ib)
+	}
+	if ci, cb := inc.Counters(), batch.Counters(); ci.Edges != cb.Edges || ci.Edges == 0 {
+		t.Fatalf("edge totals: incremental %d, batch %d", ci.Edges, cb.Edges)
+	}
+}
+
+// TestFinePartitionRegionFloor pins the committed S1 workload's scale: the
+// kd fanout must pair into at least 10⁴ regions, the range the scheduler
+// acceptance gates on. Skipped in -short mode (the look-ahead alone costs a
+// few seconds at this size).
+func TestFinePartitionRegionFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fine-partition look-ahead and batch drive are seconds-scale")
+	}
+	f, err := FigureByID("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := runSchedSetup(f, io.Discard, 1)
+	if len(runs) != 2 || runs[0].Stats.Regions != runs[1].Stats.Regions {
+		t.Fatalf("S1 harness runs = %+v", runs)
+	}
+	if runs[0].Stats.Regions < 10000 {
+		t.Fatalf("fine-partition workload pairs into %d regions, want ≥ 10⁴", runs[0].Stats.Regions)
+	}
+}

@@ -138,6 +138,23 @@ func BlockingEngines() []EngineSpec {
 	}
 }
 
+// FinePartitionWorkload is the scheduler-stress configuration: kd-partition
+// fanout driven far past the auto-sized partition budgets so the region
+// count reaches the 10⁴–10⁵ range where the batch O(n²) EL-Graph builder
+// stops scaling. Anti-correlated data keeps most partition pairs populated
+// (near-complete pairing) while spreading the regions along the
+// anti-diagonal shell, the regime the look-ahead machinery targets.
+func FinePartitionWorkload() Workload {
+	return Workload{N: scaled(16000), Dims: 3, Dist: datagen.AntiCorrelated, Sigma: 0.001, Seed: 41}
+}
+
+// FinePartitionOptions configures the engine's look-ahead for the
+// fine-partition workload: kd median splits with a 5³ = 125 partition
+// budget per source, pairing into ≥10⁴ regions.
+func FinePartitionOptions() core.Options {
+	return core.Options{Partitioning: core.PartitionKD, InputCells: 5}
+}
+
 // Scale returns the global workload scale factor from PROGXE_BENCH_SCALE
 // (default 1.0). The paper runs N = 500K per source on a dedicated
 // workstation; the figure defaults here are laptop-sized, and the scale knob

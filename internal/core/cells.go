@@ -145,8 +145,18 @@ type space struct {
 	// active lists counted cells that have not yet finalized — the cells
 	// that can still block emission (swap-removed as they finalize).
 	active []*cell
-	stats  *smj.Stats
-	arena  vecArena
+	// fen mirrors the active set as a d-dimensional Fenwick tree of cell
+	// coordinates, so progCount answers "any blocking active cell in this
+	// closed lower orthant?" as one cumulative count instead of an active-
+	// set scan. Built lazily by the first progCount call over the scan
+	// budget, and only when fenEligible (a graph-ordered run on a grid
+	// within fenCellLimit); nil otherwise.
+	fen         *grid.Fenwick
+	fenEligible bool
+	// soloScratch is progCount's reusable cell buffer.
+	soloScratch []*cell
+	stats       *smj.Stats
+	arena       vecArena
 	// pendingFree holds vectors evicted or dropped during the current
 	// region's tuple processing. Recycling is deferred until the region
 	// completes because runState.roundNew still references round survivors
@@ -464,7 +474,8 @@ func (s *space) finalize(c *cell) {
 	}
 }
 
-// deactivate removes the cell from the active set (swap removal).
+// deactivate removes the cell from the active set (swap removal) and from
+// the cumulative active-cell tree.
 func (s *space) deactivate(c *cell) {
 	if c.activeIdx < 0 {
 		return
@@ -475,6 +486,10 @@ func (s *space) deactivate(c *cell) {
 	moved.activeIdx = c.activeIdx
 	s.active = s.active[:last]
 	c.activeIdx = -1
+	if s.fen != nil {
+		s.fen.Add(c.coords, -1)
+		s.stats.FenwickUpdates++
+	}
 }
 
 // consider attempts emission of a candidate cell under Principle 1: the

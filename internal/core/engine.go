@@ -6,8 +6,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
-	"sort"
 
+	"progxe/internal/core/sched"
 	"progxe/internal/join"
 	"progxe/internal/mapping"
 	"progxe/internal/preference"
@@ -278,60 +278,78 @@ type runState struct {
 	d        int
 	outCells int
 
-	live     int
-	queue    regionQueue
-	order    []*region // fixed order for random/arrival policies
-	orderPos int
-	cancel   *smj.Canceler
-	pool     *pool // non-nil when parallel region processing is enabled
+	sched  sched.Scheduler
+	cancel *smj.Canceler
+	pool   *pool // non-nil when parallel region processing is enabled
 
 	mapBuf   []float64
 	roundNew [][]float64 // surviving vectors inserted by the current region
 }
 
 // loop repeats pick → tuple-level processing → progressive determination
-// until no live regions remain (Fig. 2's cycle).
+// until no live regions remain (Fig. 2's cycle). Region selection is
+// delegated to the scheduler layer; the engine supplies the benefit/cost
+// ranker and reports completions and discards back.
 func (r *runState) loop() error {
-	r.live = len(r.regions)
+	if len(r.regions) == 0 {
+		return nil
+	}
 	r.mapBuf = make([]float64, r.d)
 	opts := r.engine.opts
 
 	switch opts.Ordering {
 	case OrderRandom:
-		r.order = append([]*region(nil), r.regions...)
-		rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
-		rng.Shuffle(len(r.order), func(i, j int) { r.order[i], r.order[j] = r.order[j], r.order[i] })
-	case OrderArrival:
-		r.order = append([]*region(nil), r.regions...)
-	default:
-		buildELGraph(r.regions, r.workers())
-		for _, reg := range r.regions {
-			if reg.inDeg == 0 {
-				r.analyseRegion(reg)
-				r.queue.push(reg)
-			}
+		order := make([]int, len(r.regions))
+		for i := range order {
+			order[i] = i
 		}
+		rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		r.sched = sched.NewFixed(len(r.regions), order)
+	case OrderArrival:
+		r.sched = sched.NewFixed(len(r.regions), nil)
+	default:
+		r.space.fenEligible = r.space.g.NumCells() <= fenCellLimit
+		dims := make([]int, r.d)
+		for i := range dims {
+			dims[i] = r.space.g.CellsPerDim(i)
+		}
+		r.sched = sched.NewProgressive(schedBoxes(r.regions), dims, r.rankRegion, r.workers())
 	}
+	// Construction-time counters land in the stats immediately, and the
+	// running refresh tally is folded in on every exit path, so canceled
+	// runs report the scheduler work they actually did.
+	c := r.sched.Counters()
+	r.stats.SchedEdges = c.Edges
+	r.stats.FenwickUpdates += c.FenwickUpdates
+	defer func() {
+		r.stats.SchedRankRefreshes = r.sched.Counters().RankRefreshes
+	}()
 	if r.pool != nil {
-		r.pool.start(r.prefetchOrder(), len(r.space.cellList))
+		r.pool.start(r.sched.PrefetchOrder(), len(r.space.cellList))
 	}
 
-	for r.live > 0 {
+	for {
 		if err := r.cancel.Now(); err != nil {
 			return err
 		}
-		reg := r.next()
-		if reg == nil {
-			return fmt.Errorf("core: no region to schedule with %d live regions", r.live)
+		id, rank, ok := r.sched.Next()
+		if !ok {
+			break
 		}
-		if reg.state != regionLive {
-			continue
-		}
-		r.emitTrace(Event{Kind: EventRegionChosen, Region: reg.id, Rank: reg.rank})
+		reg := r.regions[id]
+		r.emitTrace(Event{Kind: EventRegionChosen, Region: reg.id, Rank: rank})
 		if err := r.process(reg); err != nil {
 			return err
 		}
 	}
+	c = r.sched.Counters() // the deferred fold persists these into stats
+	r.emitTrace(Event{
+		Kind:           EventSchedulerStats,
+		Edges:          c.Edges,
+		RankRefreshes:  c.RankRefreshes,
+		FenwickUpdates: r.stats.FenwickUpdates,
+	})
 	return nil
 }
 
@@ -343,85 +361,10 @@ func (r *runState) workers() int {
 	return r.pool.workers
 }
 
-// prefetchOrder ranks regions by expected scheduling order for the
-// prefetch workers: the fixed order for the random/arrival policies, and
-// initial roots by descending rank (then the rest by id) for the graph
-// policies. A mispredicted order costs pipeline overlap, never correctness.
-func (r *runState) prefetchOrder() []int32 {
-	order := make([]int32, 0, len(r.regions))
-	switch r.engine.opts.Ordering {
-	case OrderRandom, OrderArrival:
-		for _, reg := range r.order {
-			order = append(order, int32(reg.id))
-		}
-	default:
-		roots := append([]*region(nil), r.queue.items...)
-		sort.Slice(roots, func(i, j int) bool {
-			if roots[i].rank != roots[j].rank {
-				return roots[i].rank > roots[j].rank
-			}
-			return roots[i].id < roots[j].id
-		})
-		for _, reg := range roots {
-			order = append(order, int32(reg.id))
-		}
-		for _, reg := range r.regions {
-			if reg.inDeg != 0 {
-				order = append(order, int32(reg.id))
-			}
-		}
-	}
-	return order
-}
-
-// next picks the region for the upcoming tuple-level processing round.
-func (r *runState) next() *region {
-	switch r.engine.opts.Ordering {
-	case OrderRandom, OrderArrival:
-		for r.orderPos < len(r.order) {
-			reg := r.order[r.orderPos]
-			r.orderPos++
-			if reg.state == regionLive {
-				return reg
-			}
-		}
-		return nil
-	default:
-		for {
-			reg := r.queue.pop()
-			if reg == nil {
-				// The EL-Graph may contain cycles (mutual partial
-				// elimination); break them by the best-ranked live region.
-				return r.bestLive()
-			}
-			if reg.state == regionLive {
-				return reg
-			}
-		}
-	}
-}
-
-// bestLive returns the best-ranked remaining live region using cached ranks
-// — the cycle-breaking fallback for ProgOrder. Ranks of never-queued regions
-// are computed once here; re-analysing all live regions on every fallback
-// would cost O(n²·|cells|) over a run.
-func (r *runState) bestLive() *region {
-	var best *region
-	for _, reg := range r.regions {
-		if reg.state != regionLive {
-			continue
-		}
-		if reg.cost == 0 {
-			r.analyseRegion(reg)
-		}
-		if best == nil || reg.rank > best.rank || (reg.rank == best.rank && reg.id < best.id) {
-			best = reg
-		}
-	}
-	return best
-}
-
-func (r *runState) analyseRegion(reg *region) {
+// rankRegion is the scheduler's Ranker: procedure analyse-Cost-vs-Benefit
+// of Algorithm 1, invoked lazily at queue-pop time.
+func (r *runState) rankRegion(id int) float64 {
+	reg := r.regions[id]
 	analyse(r.space, reg, r.d, r.outCells)
 	if r.engine.opts.Ordering == OrderCardinality {
 		// Replace the benefit with the raw cardinality estimate, keeping
@@ -429,6 +372,7 @@ func (r *runState) analyseRegion(reg *region) {
 		reg.benefit = float64(reg.joinCard)
 		reg.rank = reg.benefit / reg.cost
 	}
+	return reg.rank
 }
 
 // process runs tuple-level processing (§III-B) for one region, then the
@@ -436,7 +380,6 @@ func (r *runState) analyseRegion(reg *region) {
 // non-nil error means the run was canceled mid-region and must abort.
 func (r *runState) process(reg *region) error {
 	reg.state = regionProcessed
-	r.live--
 	r.roundNew = r.roundNew[:0]
 	joinedBefore := r.stats.JoinResults
 
@@ -476,9 +419,9 @@ func (r *runState) process(reg *region) error {
 		}
 	}
 
-	// Algorithm 1, Lines 10–19: release out-edges, update benefits of
-	// queued targets, enqueue new roots.
-	r.releaseEdges(reg)
+	// Algorithm 1, Lines 10–19: release out-edges, dirty-mark queued
+	// targets for the lazy pop-time refresh, enqueue new roots.
+	r.sched.Complete(reg.id)
 
 	// roundNew is consumed; vectors evicted this round can now be recycled.
 	r.space.flushFree()
@@ -559,36 +502,11 @@ func (r *runState) discard(reg *region) {
 		return
 	}
 	reg.state = regionDiscarded
-	r.live--
 	r.stats.RegionsDropped++
 	r.emitTrace(Event{Kind: EventRegionDiscarded, Region: reg.id})
-	r.queue.remove(reg)
 	if r.pool != nil {
 		r.pool.drop(reg)
 	}
 	r.space.regionDone(reg.cells)
-	r.releaseEdges(reg)
-}
-
-// releaseEdges removes the region's out-edges from the EL-Graph, updating
-// ranks of queued targets and enqueueing targets that became roots.
-func (r *runState) releaseEdges(reg *region) {
-	if r.engine.opts.Ordering == OrderRandom || r.engine.opts.Ordering == OrderArrival {
-		return
-	}
-	for _, id := range reg.out {
-		target := r.regions[id]
-		target.inDeg--
-		if target.state != regionLive {
-			continue
-		}
-		if r.queue.contains(target) {
-			r.analyseRegion(target)
-			r.queue.fix(target)
-		} else if target.inDeg == 0 {
-			r.analyseRegion(target)
-			r.queue.push(target)
-		}
-	}
-	reg.out = nil
+	r.sched.Discard(reg.id)
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 
+	"progxe/internal/core/sched"
 	"progxe/internal/grid"
 	"progxe/internal/mapping"
 	"progxe/internal/smj"
@@ -86,14 +87,66 @@ func Explain(p *smj.Problem, opts Options) (Plan, error) {
 		plan.OutputBounds = grid.Rect{Lower: b.Lo, Upper: b.Hi}
 	}
 
-	buildELGraph(regions, opts.Workers)
-	for _, r := range regions {
-		plan.Edges += len(r.out)
-		if r.inDeg == 0 {
-			plan.Roots++
+	if len(regions) > 0 {
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = s.g.CellsPerDim(i)
 		}
+		c := sched.NewProgressive(schedBoxes(regions), dims, func(int) float64 { return 0 }, opts.Workers).Counters()
+		plan.Edges = c.Edges
+		plan.Roots = c.Roots
 	}
 	return plan, nil
+}
+
+// PlanBoxes runs the look-ahead phases (§III-A) and returns the live
+// regions' coordinate boxes on the output grid together with the grid's
+// per-dimension cell counts — the scheduler layer's exact input. Benchmarks
+// use it to measure scheduler construction and edge release in isolation
+// from tuple-level work.
+func PlanBoxes(p *smj.Problem, opts Options) ([]sched.Box, []int, error) {
+	opts = opts.withDefaults()
+	if opts.Workers < 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	cp, d, err := checkProblem(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	left, right := cp.Left, cp.Right
+	if opts.PushThrough {
+		// Same pre-partitioning pruning RunContext applies, so the boxes
+		// describe the region geometry a real run would build.
+		left, _ = smj.PushThrough(left, cp.Maps, mapping.Left)
+		right, _ = smj.PushThrough(right, cp.Maps, mapping.Right)
+	}
+	e := New(opts)
+	lparts, err := e.partition(left, cp.Maps, mapping.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rparts, err := e.partition(right, cp.Maps, mapping.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	regions, _ := buildRegions(lparts, rparts, cp.Maps, opts.Workers)
+	outCells := opts.OutputCells
+	if outCells == 0 {
+		outCells = autoOutputCells(d)
+	}
+	var stats smj.Stats
+	s, err := buildSpace(regions, d, outCells, &stats, opts.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(regions) == 0 {
+		return nil, nil, nil
+	}
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = s.g.CellsPerDim(i)
+	}
+	return schedBoxes(regions), dims, nil
 }
 
 // String renders the plan as a multi-line report.

@@ -13,15 +13,9 @@ import (
 // paths on small grids.
 var denseLimit = 1 << 21
 
-// laneHi has the high bit of every 8-bit lane set — the borrow detector of
-// the packed-coordinate comparison.
-const laneHi = 0x8080808080808080
-
-// keyLeq reports componentwise a ≤ b over packed 8-bit coordinate lanes in
-// one subtraction: (b|hi)-a keeps each lane's high bit set exactly when that
-// lane of a does not exceed b (lanes hold values ≤ 127, so no borrow can
-// cross lanes). Valid only for keys built by packKey.
-func keyLeq(a, b uint64) bool { return ((b|laneHi)-a)&laneHi == laneHi }
+// keyLeq is grid.KeyLeq (the canonical lane-packed comparison), wrapped
+// thinly so the hot paths keep their inlinable local name.
+func keyLeq(a, b uint64) bool { return grid.KeyLeq(a, b) }
 
 // bucketEntry is one populated cell in a coordinate bucket, carrying the
 // cell's flat id and packed coordinate key inline so the comparability
@@ -107,14 +101,8 @@ func (x *cellIndex) init(g *grid.Grid, cells []*cell) {
 	}
 }
 
-// packKey packs coordinates into 8-bit lanes (dimension i in bits 8i..8i+7).
-func packKey(coords []int) uint64 {
-	var k uint64
-	for i, v := range coords {
-		k |= uint64(v) << (8 * i)
-	}
-	return k
-}
+// packKey is grid.PackKey under the index's local name.
+func packKey(coords []int) uint64 { return grid.PackKey(coords) }
 
 // addPopulated registers a newly populated cell in every dimension bucket,
 // keeping buckets sorted by flat id.

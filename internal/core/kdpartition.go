@@ -45,13 +45,21 @@ func partitionInputKD(rel *relation.Relation, maps *mapping.Set, side mapping.Si
 		return nil, nil
 	}
 	if maxParts <= 0 {
+		// Auto-sizing keeps n << N (§IV): ≈ 1 partition per 48 tuples, at
+		// most 64 per source, like the grid partitioner's autoCells.
 		maxParts = int(float64(len(rel.Tuples)) / 48)
+		if maxParts > 64 {
+			maxParts = 64
+		}
 	}
 	if maxParts < 1 {
 		maxParts = 1
 	}
-	if maxParts > 64 {
-		maxParts = 64
+	// An explicit budget may exceed the auto cap — the fine-partition
+	// scheduler workloads drive fanouts of 10⁴–10⁵ region pairs — but is
+	// still bounded to keep split recursion and region pairing sane.
+	if maxParts > 4096 {
+		maxParts = 4096
 	}
 	if len(used) == 0 || maxParts == 1 {
 		p := newPartition(0, rel.Schema.Arity())

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"progxe/internal/core/sched"
 	"progxe/internal/mapping"
 	"progxe/internal/relation"
 	"progxe/internal/smj"
@@ -137,26 +138,20 @@ func TestELGraphEdges(t *testing.T) {
 	if _, err := buildSpace(regions, 2, 9, &stats, 0); err != nil {
 		t.Fatal(err)
 	}
-	buildELGraph(regions, 0)
 	a, b := regions[0], regions[1] // a = [(0,0),(2.5,2.5)], b = [(2,0),(4.5,2.5)]
-	hasEdge := func(x, y *region) bool {
-		for _, id := range x.out {
-			if id == y.id {
-				return true
-			}
-		}
-		return false
-	}
-	if !hasEdge(a, b) {
+	boxA := sched.Box{Min: a.minC, Max: a.maxC}
+	boxB := sched.Box{Min: b.minC, Max: b.maxC}
+	if !sched.Eliminates(boxA, boxB) {
 		t.Fatal("low region must have an elimination edge to the overlapping higher region")
 	}
-	if hasEdge(b, a) {
+	if sched.Eliminates(boxB, boxA) {
 		t.Fatal("higher region must not eliminate the lower one")
 	}
-	if a.inDeg != 0 || b.inDeg != 1 {
-		t.Fatalf("inDeg: a=%d b=%d", a.inDeg, b.inDeg)
+	c := sched.NewProgressive(schedBoxes(regions), []int{9, 9}, func(int) float64 { return 0 }, 0).Counters()
+	if c.Edges != 1 || c.Roots != 1 {
+		t.Fatalf("EL-graph edges=%d roots=%d, want 1/1", c.Edges, c.Roots)
 	}
-	if completelyEliminates(a, b) {
+	if sched.CompletelyEliminates(boxA, boxB) {
 		t.Fatal("overlap is only partial elimination")
 	}
 }
@@ -177,11 +172,13 @@ func TestCompleteElimination(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := regions[0], regions[1]
-	if !completelyEliminates(a, b) {
+	boxA := sched.Box{Min: a.minC, Max: a.maxC}
+	boxB := sched.Box{Min: b.minC, Max: b.maxC}
+	if !sched.CompletelyEliminates(boxA, boxB) {
 		t.Fatalf("region %v (cells %v-%v) must completely eliminate %v (cells %v-%v)",
 			a.rect, a.minC, a.maxC, b.rect, b.minC, b.maxC)
 	}
-	if completelyEliminates(b, a) {
+	if sched.CompletelyEliminates(boxB, boxA) {
 		t.Fatal("elimination cannot be mutual")
 	}
 }

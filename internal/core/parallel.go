@@ -8,6 +8,7 @@ import (
 
 	"progxe/internal/grid"
 	"progxe/internal/mapping"
+	"progxe/internal/par"
 	"progxe/internal/smj"
 )
 
@@ -126,12 +127,6 @@ type precheckState struct {
 func newPrecheckState(cells int) *precheckState {
 	return &precheckState{visited: make([]int32, cells)}
 }
-
-// yieldHook, when non-nil, is invoked from worker loops between work items.
-// Tests install runtime.Gosched-based hooks to randomize goroutine
-// interleaving and prove the output stream does not depend on it. Must be
-// set before any engine run starts and not changed while one is active.
-var yieldHook func()
 
 // precheckMinCands is the round size below which the phase-1 precheck runs
 // inline on the sequencer: distributing a handful of candidates costs more
@@ -320,8 +315,8 @@ func (p *pool) prefetchWorker() {
 			return
 		}
 		j.budgeted = true
-		if yieldHook != nil {
-			yieldHook()
+		if par.YieldHook != nil {
+			par.YieldHook()
 		}
 		j.buf = p.getBuf()
 		j.n = p.mapStream(j.reg, j.buf, cancel)
@@ -447,8 +442,8 @@ func (p *pool) precheckWorker(cells int) {
 func (t *precheckTask) run(st *precheckState) {
 	comps := 0
 	for k := range t.cands {
-		if yieldHook != nil && k%64 == 0 {
-			yieldHook()
+		if par.YieldHook != nil && k%64 == 0 {
+			par.YieldHook()
 		}
 		cd := &t.cands[k]
 		c := t.s.cellAt(cd.flat)
@@ -517,37 +512,6 @@ func (s *space) precheckDominated(c *cell, v []float64, sum float64, st *prechec
 	return false
 }
 
-// parforMin is the loop size below which parfor stays inline.
-const parforMin = 512
-
-// parfor splits [0, n) into contiguous chunks across up to workers
-// goroutines. fn must confine its writes to the indices of its chunk (and
-// data derivable only from them), which makes the combined result
-// independent of scheduling — the pattern behind the parallel setup passes
-// (EL-Graph edges, region pruning, static marking).
-func parfor(n, workers int, fn func(lo, hi int)) {
-	if workers <= 1 || n < parforMin {
-		fn(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			if yieldHook != nil {
-				yieldHook()
-			}
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// The deterministic parallel-for behind the setup passes (region pruning,
+// coverage, static marking) lives in internal/par, shared with the
+// scheduler layer's graph construction.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"progxe/internal/datagen"
+	"progxe/internal/par"
 	"progxe/internal/relation"
 	"progxe/internal/smj"
 )
@@ -22,7 +23,7 @@ func installYieldHook(t *testing.T, seed uint64) {
 	t.Helper()
 	var ctr atomic.Uint64
 	ctr.Store(seed)
-	yieldHook = func() {
+	par.YieldHook = func() {
 		// splitmix64 over an atomic counter: goroutine-safe pseudo-random
 		// yield decisions without shared-RNG locking.
 		x := ctr.Add(0x9e3779b97f4a7c15)
@@ -33,7 +34,7 @@ func installYieldHook(t *testing.T, seed uint64) {
 			runtime.Gosched()
 		}
 	}
-	t.Cleanup(func() { yieldHook = nil })
+	t.Cleanup(func() { par.YieldHook = nil })
 }
 
 // recordRun executes one engine run and returns the emission stream and
@@ -82,7 +83,7 @@ func TestParallelDeterminism(t *testing.T) {
 			old := runtime.GOMAXPROCS(gmp)
 			got, stats := recordRun(t, p, Options{Workers: workers})
 			runtime.GOMAXPROCS(old)
-			yieldHook = nil
+			par.YieldHook = nil
 
 			if !sameRuns(got, serial) {
 				t.Fatalf("workers=%d rep=%d (GOMAXPROCS=%d): emission stream diverges from serial", workers, rep, gmp)

@@ -5,8 +5,10 @@ import (
 	"math"
 	"sort"
 
+	"progxe/internal/core/sched"
 	"progxe/internal/grid"
 	"progxe/internal/mapping"
+	"progxe/internal/par"
 	"progxe/internal/preference"
 	"progxe/internal/skyline"
 	"progxe/internal/smj"
@@ -34,15 +36,11 @@ type region struct {
 	joinCard int // exact join cardinality |IRa ⋈ ITb| (σ·n_a·n_b in Eq. 4–5)
 	state    regionState
 
-	// EL-Graph adjacency (§IV-B): out-edges to regions this region can
-	// partially or completely eliminate.
-	out   []int
-	inDeg int
-
+	// EL-Graph membership, queueing, and edge release live in the
+	// scheduler layer (internal/core/sched), keyed by region id.
 	benefit float64
 	cost    float64
-	rank    float64 // Equation 8: Benefit / Cost
-	heapIdx int     // position in the inverted priority queue; -1 if absent
+	rank    float64 // Equation 8: Benefit / Cost, as of the last analyse
 }
 
 // buildRegions pairs the input partitions, keeps pairs whose exact join
@@ -66,7 +64,6 @@ func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int)
 				rect:     maps.MapRegion(a.rect, b.rect),
 				joinCard: a.sig.JoinCardinality(b.sig),
 				state:    regionLive,
-				heapIdx:  -1,
 			})
 		}
 	}
@@ -75,7 +72,7 @@ func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int)
 	// region that is itself pruned stays sound: the domination relation over
 	// enclosures is acyclic and chains down to a surviving witness region.
 	dominated := make([]bool, len(all))
-	parfor(len(all), workers, func(lo, hi int) {
+	par.For(len(all), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x := all[i]
 			for j, y := range all {
@@ -136,7 +133,7 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats, workers
 	// region's cell set and coordinate box depend only on the region, and
 	// the covered set is a full coordinate box in ascending flat order, so
 	// the box corners are the first and last flat ids.
-	parfor(len(regions), workers, func(lo, hi int) {
+	par.For(len(regions), workers, func(lo, hi int) {
 		for ri := lo; ri < hi; ri++ {
 			r := regions[ri]
 			r.cells = g.CellsOverlapping(r.rect, r.cells[:0])
@@ -178,7 +175,7 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats, workers
 	// verdicts are computed in parallel; the marks are applied serially in
 	// cell-list order so counters match the serial build exactly.
 	staticMark := make([]bool, len(s.cellList))
-	parfor(len(s.cellList), workers, func(lo, hi int) {
+	par.For(len(s.cellList), workers, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			c := s.cellList[ci]
 			for _, r := range regions {
@@ -208,130 +205,117 @@ func buildSpace(regions []*region, d, outputCells int, stats *smj.Stats, workers
 	return s, nil
 }
 
-// buildELGraph installs the elimination edges of §IV-B: an edge X → Y exists
-// iff some output partition of X strictly dominates some partition of Y,
-// which for the coordinate boxes reduces to minC(X) < maxC(Y) in every
-// dimension. Complete elimination additionally requires minC(X) < minC(Y)
-// everywhere; both kinds produce the same edge (Fig. 6 a–b). The O(n²)
-// edge scan fans out across workers — each source region's adjacency is
-// independent — with in-degrees accumulated serially afterwards, so the
-// graph is identical for any worker count.
-func buildELGraph(regions []*region, workers int) {
-	if workers <= 1 || len(regions) < parforMin {
-		// Serial fast path: count out-degrees and in-degrees in one pass,
-		// then fill the edge slices (allocated exactly once).
-		counts := make([]int, len(regions))
-		for i, x := range regions {
-			for j, y := range regions {
-				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-					counts[i]++
-					y.inDeg++
-				}
-			}
-		}
-		for i, x := range regions {
-			if counts[i] == 0 {
-				continue
-			}
-			x.out = make([]int, 0, counts[i])
-			for j, y := range regions {
-				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-					x.out = append(x.out, y.id)
-				}
-			}
-		}
+// buildActiveTree installs the cumulative active-cell tree behind
+// progCount's orthant queries, mirroring the current active set.
+// Maintaining the tree costs one point update per later finalization, so
+// construction is deferred until the first progCount call that actually
+// exceeds the scan budget (see progCount) — runs whose regions stay small
+// never pay for it. Eligibility is gated by fenCellLimit (the tree is
+// sized by the grid's total cell count); on the (impossible under that
+// cap) constructor failure the space stays in scan mode.
+func (s *space) buildActiveTree() {
+	s.fenEligible = false
+	dims := make([]int, s.d)
+	for i := range dims {
+		dims[i] = s.g.CellsPerDim(i)
+	}
+	fen, err := grid.NewFenwick(dims)
+	if err != nil {
 		return
 	}
-	parfor(len(regions), workers, func(lo, hi int) {
-		// Two passes per source: count the out-degree first so each edge
-		// slice is allocated exactly once (dense graphs otherwise churn
-		// the allocator).
-		for i := lo; i < hi; i++ {
-			x := regions[i]
-			count := 0
-			for j, y := range regions {
-				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-					count++
-				}
-			}
-			if count == 0 {
-				continue
-			}
-			x.out = make([]int, 0, count)
-			for j, y := range regions {
-				if i != j && coordsStrictlyBelow(x.minC, y.maxC) {
-					x.out = append(x.out, y.id)
-				}
-			}
-		}
-	})
-	for _, x := range regions {
-		for _, id := range x.out {
-			regions[id].inDeg++
-		}
+	s.fen = fen
+	for _, c := range s.active {
+		s.fen.Add(c.coords, 1)
 	}
+	s.stats.FenwickUpdates += len(s.active)
 }
 
-// completelyEliminates reports whether region X can completely eliminate
-// region Y (Fig. 6.a): every partition of Y is dominated by some partition
-// of X, i.e. minC(X) < minC(Y) in every dimension.
-func completelyEliminates(x, y *region) bool {
-	return coordsStrictlyBelow(x.minC, y.minC)
-}
-
-func coordsStrictlyBelow(a, b []int) bool {
-	for i := range a {
-		if a[i] >= b[i] {
-			return false
-		}
+// schedBoxes projects the regions' coordinate boxes into the scheduler
+// layer's representation (aliasing, read-only).
+func schedBoxes(regions []*region) []sched.Box {
+	boxes := make([]sched.Box, len(regions))
+	for i, r := range regions {
+		boxes[i] = sched.Box{Min: r.minC, Max: r.maxC}
 	}
-	return true
+	return boxes
 }
 
-// progCount implements Definition 2: the number of the region's cells that
-// can neither be eliminated nor have output dependencies on cells belonging
-// to other still-unprocessed regions — the cells whose early output depends
-// solely on this region's own tuple-level processing. Only active
-// (unfinalized, counted) cells can embody such a dependency, so the scan is
-// restricted to them.
+// progCountScanBudget is the solos×active product above which progCount
+// prefers the Fenwick orthant counts over the direct active-set scan. Both
+// paths are exact — the dispatch trades constant factors, never fidelity —
+// so the choice cannot affect ranks or schedules.
+const progCountScanBudget = 1 << 20
+
+// fenCellLimit caps the grid size the active-cell tree will mirror (int32
+// per cell: 64 MiB at the cap). It deliberately exceeds denseLimit so the
+// map-fallback index mode keeps bounded rankings; past it — the extreme
+// tail of manual OutputCells choices — progCount stays an exact scan,
+// consistent with that mode's documented speed-for-memory trade.
+var fenCellLimit = 1 << 24
+
+// progCount implements Definition 2 exactly: the number of the region's
+// cells that can neither be eliminated nor have output dependencies on
+// cells belonging to other still-unprocessed regions — the cells whose
+// early output depends solely on this region's own tuple-level processing.
+// Requires a live region.
+//
+// For a live region the candidate cells and the non-blocking active cells
+// coincide: both are the region's "solo" cells — active cells covered by no
+// other unprocessed region (RegCount 1). A candidate is counted when its
+// closed lower orthant holds no active cell outside that solo set. Small
+// instances answer that with a direct scan of the active set (early-exit on
+// the first blocker); large ones through the cumulative active-cell
+// Fenwick: retract the solos, and a candidate is free iff its orthant count
+// reads zero. The retraction is restored before returning, so the tree
+// stays the exact image of the active set.
 func progCount(s *space, r *region) int {
-	// The benefit model is an estimate (Eq. 1 is itself asymptotic), so the
-	// scan is budgeted: when the cells×active product exceeds the budget,
-	// the active set is strided — a sampled dependency check that keeps
-	// ranking cost bounded for huge regions.
-	const budget = 1 << 21
-	stride := 1
-	if len(r.cells) > 0 {
-		if work := len(r.cells) * len(s.active); work > budget {
-			stride = work / budget
-		}
-	}
-	count := 0
+	solos := s.soloScratch[:0]
 	for _, flat := range r.cells {
 		c := s.cellAt(flat)
-		if c.marked || c.emitted {
-			continue
+		if c.activeIdx >= 0 && remainingExcluding(c, r) == 0 {
+			solos = append(solos, c)
 		}
-		// The cell must receive tuples from no other unprocessed region.
-		if remainingExcluding(c, r) != 0 {
+	}
+	s.soloScratch = solos[:0]
+	count := 0
+	if s.fenEligible && len(solos)*len(s.active) > progCountScanBudget {
+		s.buildActiveTree()
+	}
+	if s.fen != nil && len(solos)*len(s.active) > progCountScanBudget {
+		for _, c := range solos {
+			s.fen.Add(c.coords, -1)
+		}
+		for _, c := range solos {
+			if !c.marked && s.fen.Count(c.coords) == 0 {
+				count++
+			}
+		}
+		for _, c := range solos {
+			s.fen.Add(c.coords, 1)
+		}
+		s.stats.FenwickUpdates += 2 * len(solos)
+		return count
+	}
+	packed := s.idx.packed
+	for _, c := range solos {
+		if c.marked {
 			continue
 		}
 		free := true
-		if s.idx.packed {
-			for qi := 0; qi < len(s.active); qi += stride {
-				q := s.active[qi]
-				if q != c && keyLeq(q.key, c.key) && remainingExcluding(q, r) != 0 {
-					free = false
-					break
-				}
+		for _, q := range s.active {
+			if q == c {
+				continue
 			}
-		} else {
-			for qi := 0; qi < len(s.active); qi += stride {
-				q := s.active[qi]
-				if q != c && grid.LeqAll(q.coords, c.coords) && remainingExcluding(q, r) != 0 {
-					free = false
-					break
+			if packed {
+				if !keyLeq(q.key, c.key) {
+					continue
 				}
+			} else if !grid.LeqAll(q.coords, c.coords) {
+				continue
+			}
+			if remainingExcluding(q, r) != 0 {
+				free = false
+				break
 			}
 		}
 		if free {

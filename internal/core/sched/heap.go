@@ -1,0 +1,119 @@
+package sched
+
+// idHeap is the inverted priority queue of Algorithm 1 over region ids:
+// highest rank first, deterministic id-based tie-breaking. Ranks live in a
+// slice shared with the scheduler (indexed by id) so a lazy refresh only has
+// to fix the entry, and the heap is hand-rolled so push/pop/fix stay free of
+// interface boxing on the scheduling path. Because (rank, id) is a total
+// order, the popped maximum — and therefore the whole pop sequence — is
+// independent of insertion order.
+type idHeap struct {
+	rank  []float64 // shared with the scheduler, indexed by region id
+	items []int32
+	pos   []int32 // id → heap index; -1 if absent
+}
+
+func newIDHeap(rank []float64, n int) idHeap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return idHeap{rank: rank, pos: pos}
+}
+
+// before reports whether region a takes priority over region b.
+func (q *idHeap) before(a, b int32) bool {
+	if q.rank[a] != q.rank[b] {
+		return q.rank[a] > q.rank[b]
+	}
+	return a < b
+}
+
+func (q *idHeap) swap(i, j int32) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i]] = i
+	q.pos[q.items[j]] = j
+}
+
+func (q *idHeap) up(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.items[i], q.items[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *idHeap) down(i int32) {
+	n := int32(len(q.items))
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && q.before(q.items[r], q.items[l]) {
+			best = r
+		}
+		if !q.before(q.items[best], q.items[i]) {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
+}
+
+// push inserts a region id.
+func (q *idHeap) push(id int32) {
+	q.pos[id] = int32(len(q.items))
+	q.items = append(q.items, id)
+	q.up(q.pos[id])
+}
+
+// pop removes and returns the highest-ranked id, or -1 if empty.
+func (q *idHeap) pop() int32 {
+	if len(q.items) == 0 {
+		return -1
+	}
+	top := q.items[0]
+	q.removeAt(0)
+	return top
+}
+
+// removeAt deletes the element at heap position i.
+func (q *idHeap) removeAt(i int32) {
+	n := int32(len(q.items)) - 1
+	id := q.items[i]
+	if i != n {
+		q.swap(i, n)
+	}
+	q.items = q.items[:n]
+	q.pos[id] = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// fix restores heap order after id's rank changed.
+func (q *idHeap) fix(id int32) {
+	if i := q.pos[id]; i >= 0 {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// remove deletes id from the queue if present.
+func (q *idHeap) remove(id int32) {
+	if i := q.pos[id]; i >= 0 {
+		q.removeAt(i)
+	}
+}
+
+// contains reports whether id is currently queued.
+func (q *idHeap) contains(id int32) bool { return q.pos[id] >= 0 }
+
+// len reports the queue size.
+func (q *idHeap) len() int { return len(q.items) }

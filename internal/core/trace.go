@@ -18,6 +18,9 @@ const (
 	// EventCellEmitted fires when ProgDetermine releases a cell's
 	// survivors to the sink.
 	EventCellEmitted
+	// EventSchedulerStats fires once after the framework loop drains,
+	// reporting the scheduler layer's work counters.
+	EventSchedulerStats
 )
 
 // String names the event kind.
@@ -31,6 +34,8 @@ func (k EventKind) String() string {
 		return "region-discarded"
 	case EventCellEmitted:
 		return "cell-emitted"
+	case EventSchedulerStats:
+		return "scheduler-stats"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int8(k))
 	}
@@ -52,6 +57,11 @@ type Event struct {
 	Survivors int
 	// Cell is the flat output-cell index (cell-emitted only).
 	Cell int
+	// Edges, RankRefreshes and FenwickUpdates are the scheduler layer's
+	// work counters (scheduler-stats only).
+	Edges          int
+	RankRefreshes  int
+	FenwickUpdates int
 }
 
 // String renders the event compactly for logs.
@@ -65,6 +75,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s region=%d", e.Kind, e.Region)
 	case EventCellEmitted:
 		return fmt.Sprintf("%s cell=%d results=%d", e.Kind, e.Cell, e.Survivors)
+	case EventSchedulerStats:
+		return fmt.Sprintf("%s edges=%d refreshes=%d fenwick=%d", e.Kind, e.Edges, e.RankRefreshes, e.FenwickUpdates)
 	default:
 		return e.Kind.String()
 	}

@@ -1,0 +1,82 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFenwickAgainstNaive cross-checks orthant counts against a brute-force
+// point list across dimensionalities, including removals (the engine adds
+// and retracts active cells) and out-of-range query corners.
+func TestFenwickAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for _, dims := range [][]int{{8}, {5, 7}, {4, 4, 4}, {3, 5, 2, 4}, {2, 2, 2, 2, 2}} {
+		f, err := NewFenwick(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pt struct {
+			c []int
+			w int32
+		}
+		var pts []pt
+		randPoint := func() []int {
+			c := make([]int, len(dims))
+			for i, k := range dims {
+				c[i] = rng.IntN(k)
+			}
+			return c
+		}
+		naive := func(q []int) int {
+			n := 0
+			for _, p := range pts {
+				inside := true
+				for i := range q {
+					if p.c[i] > q[i] || q[i] < 0 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					n += int(p.w)
+				}
+			}
+			return n
+		}
+		for step := 0; step < 300; step++ {
+			if len(pts) > 0 && rng.IntN(4) == 0 {
+				// Retract a previously added point entirely.
+				i := rng.IntN(len(pts))
+				f.Add(pts[i].c, -pts[i].w)
+				pts[i] = pts[len(pts)-1]
+				pts = pts[:len(pts)-1]
+			} else {
+				p := pt{c: randPoint(), w: 1}
+				pts = append(pts, p)
+				f.Add(p.c, p.w)
+			}
+			q := randPoint()
+			if rng.IntN(5) == 0 {
+				q[rng.IntN(len(q))] = -1 // empty orthant along one axis
+			}
+			if rng.IntN(5) == 0 {
+				q[rng.IntN(len(q))] = dims[0] + 3 // clamped overshoot
+			}
+			if got, want := f.Count(q), naive(q); got != want {
+				t.Fatalf("dims=%v step=%d Count(%v) = %d, want %d", dims, step, q, got, want)
+			}
+		}
+	}
+}
+
+func TestFenwickValidation(t *testing.T) {
+	if _, err := NewFenwick(nil); err == nil {
+		t.Fatal("empty dims must error")
+	}
+	if _, err := NewFenwick([]int{4, 0}); err == nil {
+		t.Fatal("zero-size dimension must error")
+	}
+	if _, err := NewFenwick([]int{1 << 14, 1 << 14}); err == nil {
+		t.Fatal("oversized tree must error")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"progxe/internal/smj"
 )
 
 // ttfrBuckets are the upper bounds (seconds) of the time-to-first-result
@@ -29,6 +31,10 @@ type metrics struct {
 	ttfrCounts      []int64 // len(ttfrBuckets)+1; last is +Inf
 	ttfrSum         float64 // seconds
 	ttfrObserved    int64
+	// Scheduler-layer engine counters, accumulated across runs.
+	schedEdges         int64
+	schedRankRefreshes int64
+	fenwickUpdates     int64
 }
 
 func newMetrics() *metrics {
@@ -72,6 +78,16 @@ func (m *metrics) runRejected() {
 	m.mu.Unlock()
 }
 
+// observeEngineStats folds one run's engine counters into the service
+// totals (currently the scheduler-layer triple).
+func (m *metrics) observeEngineStats(st smj.Stats) {
+	m.mu.Lock()
+	m.schedEdges += int64(st.SchedEdges)
+	m.schedRankRefreshes += int64(st.SchedRankRefreshes)
+	m.fenwickUpdates += int64(st.FenwickUpdates)
+	m.mu.Unlock()
+}
+
 // observeTTFR records the time-to-first-result of one run.
 func (m *metrics) observeTTFR(d time.Duration) {
 	s := d.Seconds()
@@ -106,6 +122,11 @@ type Snapshot struct {
 	TTFRObserved    int64    `json:"ttfrObserved"`
 	TTFRSumSeconds  float64  `json:"ttfrSumSeconds"`
 	TTFR            []Bucket `json:"ttfr"`
+	// Scheduler-layer totals across runs (ProgXe engines with graph
+	// ordering; zero for baselines and fixed orders).
+	SchedEdges         int64 `json:"schedEdges"`
+	SchedRankRefreshes int64 `json:"schedRankRefreshes"`
+	FenwickUpdates     int64 `json:"fenwickUpdates"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -121,6 +142,10 @@ func (m *metrics) snapshot() Snapshot {
 		ResultsStreamed: m.resultsStreamed,
 		TTFRObserved:    m.ttfrObserved,
 		TTFRSumSeconds:  m.ttfrSum,
+
+		SchedEdges:         m.schedEdges,
+		SchedRankRefreshes: m.schedRankRefreshes,
+		FenwickUpdates:     m.fenwickUpdates,
 	}
 	cum := int64(0)
 	for i, le := range ttfrBuckets {
@@ -145,6 +170,9 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("progxe_runs_failed_total", "Engine runs that returned an error.", s.RunsFailed)
 	counter("progxe_runs_rejected_total", "Query requests shed by the admission controller.", s.RunsRejected)
 	counter("progxe_results_streamed_total", "Results streamed to clients.", s.ResultsStreamed)
+	counter("progxe_sched_edges_total", "EL-Graph edges installed by region schedulers.", s.SchedEdges)
+	counter("progxe_sched_rank_refreshes_total", "Lazy benefit/cost rank refreshes at queue-pop.", s.SchedRankRefreshes)
+	counter("progxe_sched_fenwick_updates_total", "Point updates on active-cell and in-degree Fenwick trees.", s.FenwickUpdates)
 	fmt.Fprintf(w, "# HELP progxe_runs_active Engine runs currently executing.\n# TYPE progxe_runs_active gauge\nprogxe_runs_active %d\n", s.RunsActive)
 	fmt.Fprintf(w, "# HELP progxe_ttfr_seconds Time to first streamed result.\n# TYPE progxe_ttfr_seconds histogram\n")
 	for _, b := range s.TTFR {

@@ -298,6 +298,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 	engineStats, runErr := smj.RunContext(ctx, engine, p, sink)
 	elapsed := time.Since(start)
+	s.metrics.observeEngineStats(engineStats)
 
 	rec := statsRecord{
 		Type: "stats", Engine: engine.Name(), Results: seq,

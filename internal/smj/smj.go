@@ -151,6 +151,11 @@ type Stats struct {
 	RegionsDropped  int // regions discarded during execution (ProgXe engines)
 	CellsMarked     int // output cells marked non-contributing (ProgXe engines)
 	PushPruned      int // source tuples removed by partial push-through
+
+	// Scheduler-layer counters (ProgXe engines with graph ordering).
+	SchedEdges         int // EL-Graph edges installed by the scheduler
+	SchedRankRefreshes int // lazy benefit/cost refreshes at queue-pop
+	FenwickUpdates     int // point updates on the active-cell and in-degree Fenwick trees
 }
 
 // Engine evaluates a SkyMapJoin problem, streaming results to sink.
