@@ -48,6 +48,7 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "compare results against a committed BENCH_*.json and fail on ProgXe total-time regressions")
 		maxRegress = fs.Float64("max-regress", 0.2, "regression tolerance for -baseline (0.2 = fail beyond +20%)")
 		repeat     = fs.Int("repeat", 1, "run each cell this many times and keep the fastest (use ≥3 when gating with -baseline)")
+		summary    = fs.String("summary", "", "append a markdown digest (environment + w=N speedup table) to this file — point it at $GITHUB_STEP_SUMMARY in CI")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,12 +95,17 @@ func run(args []string) error {
 				return err
 			}
 		}
-		if *jsonPath != "" || *baseline != "" {
+		if *jsonPath != "" || *baseline != "" || *summary != "" {
 			report.AddFigure(f, runs)
 		}
 	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, &report); err != nil {
+			return err
+		}
+	}
+	if *summary != "" {
+		if err := writeSummary(*summary, &report); err != nil {
 			return err
 		}
 	}
@@ -152,6 +158,17 @@ func compareBaseline(path string, report *bench.JSONReport, maxRegress float64) 
 		return fmt.Errorf("%d of %d trajectory cells regressed beyond +%.0f%%", len(regs), len(verdicts), maxRegress*100)
 	}
 	return nil
+}
+
+// writeSummary appends the markdown digest to path (created if absent), the
+// append matching how CI jobs accumulate $GITHUB_STEP_SUMMARY.
+func writeSummary(path string, report *bench.JSONReport) error {
+	out, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bench.WriteSummary(out, report)
+	return out.Close()
 }
 
 // writeJSON stores the machine-readable report at path.

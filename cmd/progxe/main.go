@@ -49,6 +49,7 @@ func run(args []string) error {
 		inCells   = fs.Int("input-cells", 0, "input grid cells per dimension (0 = auto)")
 		outCells  = fs.Int("output-cells", 0, "output grid cells per dimension (0 = auto)")
 		workers   = fs.Int("workers", 0, "parallel region-processing workers (ProgXe engines; 0 = serial, -1 = GOMAXPROCS); results are identical at any count")
+		ranker    = fs.String("ranker", "benefit-cost", "progressive scheduling ranker: benefit-cost (Eq. 8) or cardinality (skips ProgCount; ProgXe engines only)")
 		stats     = fs.Bool("stats", false, "print run statistics to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress per-result output (timing only)")
 		explain   = fs.Bool("explain", false, "print the look-ahead plan and exit without executing")
@@ -98,7 +99,12 @@ func run(args []string) error {
 		return nil
 	}
 
-	e, err := pickEngine(*engine, *inCells, *outCells, *workers, *trace)
+	rk, err := core.ParseRanker(*ranker)
+	if err != nil {
+		return err
+	}
+
+	e, err := pickEngine(*engine, *inCells, *outCells, *workers, rk, *trace)
 	if err != nil {
 		return err
 	}
@@ -145,8 +151,8 @@ func loadCSV(path string) (*relation.Relation, error) {
 	return relation.ReadCSV(name, f)
 }
 
-func pickEngine(name string, inCells, outCells, workers int, trace bool) (progxe.Engine, error) {
-	opts := progxe.Options{InputCells: inCells, OutputCells: outCells, Workers: workers}
+func pickEngine(name string, inCells, outCells, workers int, ranker core.RankerKind, trace bool) (progxe.Engine, error) {
+	opts := progxe.Options{InputCells: inCells, OutputCells: outCells, Workers: workers, Ranker: ranker}
 	if trace {
 		opts.Trace = func(e core.Event) { fmt.Fprintln(os.Stderr, "trace:", e) }
 	}

@@ -11,8 +11,8 @@ import (
 
 func TestFiguresRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 18 {
-		t.Fatalf("figure count = %d, want 18 (10a-f, 11a-f, 12a-b, 13a-c, S1)", len(figs))
+	if len(figs) != 19 {
+		t.Fatalf("figure count = %d, want 19 (10a-f, 11a-f, 12a-b, 13a-c, S1, S2)", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -23,7 +23,7 @@ func TestFiguresRegistry(t *testing.T) {
 		if f.Caption == "" || f.Expect == "" {
 			t.Fatalf("figure %s incomplete", f.ID)
 		}
-		if len(f.Engines) == 0 && f.Kind != SchedSetup {
+		if len(f.Engines) == 0 && f.Kind != SchedSetup && f.Kind != PruneSetup {
 			t.Fatalf("figure %s has no engines", f.ID)
 		}
 		if f.Kind == TotalTime && len(f.Sweep) == 0 {

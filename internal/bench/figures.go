@@ -25,6 +25,11 @@ const (
 	// (incremental EL-Graph vs the batch O(n²) builder) on a fine-partition
 	// region set — a scaling experiment beyond the paper's evaluation.
 	SchedSetup
+	// PruneSetup figures compare region-level domination pruning time (the
+	// shared box-index sweep vs the retained O(n²) scan) on a fine-partition
+	// candidate set — the companion scaling experiment for the look-ahead's
+	// other quadratic pass.
+	PruneSetup
 )
 
 // String names the figure kind the way reports caption it.
@@ -34,6 +39,8 @@ func (k Kind) String() string {
 		return "total-time"
 	case SchedSetup:
 		return "sched-setup"
+	case PruneSetup:
+		return "prune-setup"
 	default:
 		return "progress"
 	}
@@ -155,6 +162,16 @@ func Figures() []Figure {
 		SchedOpts: &fineOpts,
 		Expect:    "incremental graph construction + lazy release at least 5× faster than the batch builder",
 	})
+	// S2: region-pruning scaling on the same candidate set — the last O(n²)
+	// look-ahead pass rewritten over the shared box index.
+	figs = append(figs, Figure{
+		ID:        "S2",
+		Caption:   "Region-level domination pruning at ≥10⁴ candidates: box-index sweep vs O(n²) scan (fine-partition)",
+		Kind:      PruneSetup,
+		Workload:  FinePartitionWorkload(),
+		SchedOpts: &fineOpts,
+		Expect:    "box-index pruning at least 5× faster than the all-pairs scan",
+	})
 	return figs
 }
 
@@ -194,6 +211,8 @@ func RunFigure(f Figure, w io.Writer, series bool, repeats int) []RunResult {
 		return runTotalTime(f, w, repeats)
 	case SchedSetup:
 		return runSchedSetup(f, w, repeats)
+	case PruneSetup:
+		return runPruneSetup(f, w, repeats)
 	default:
 		return runProgress(f, w, series, repeats)
 	}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// WriteSummary renders a markdown digest of a JSON report: the run
+// environment and, when the report carries "(w=N)" worker variants alongside
+// their serial runs, the measured multicore speedup per cell — the table the
+// CI multicore job publishes into its step summary. Cells are matched by
+// figure, workload, and base engine name; the serial run is the
+// denominator, so a value above 1.00× is a parallel win.
+func WriteSummary(w io.Writer, r *JSONReport) {
+	scale, procs := r.Scale, r.GoMaxProcs
+	if scale == 0 {
+		scale = Scale()
+	}
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "## progxe-bench results (scale %.2g, GOMAXPROCS %d)\n\n", scale, procs)
+
+	type cell struct {
+		figure, engine, workload string
+		serialMS, parallelMS     float64
+		workers                  int
+	}
+	byKey := map[string]*cell{}
+	var order []string
+	for _, f := range r.Figures {
+		for _, run := range f.Runs {
+			if run.Error != "" || run.TotalMS <= 0 {
+				continue
+			}
+			base, isParallel := strings.CutSuffix(run.Engine, fmt.Sprintf(" (w=%d)", run.Workers))
+			if !isParallel && run.Workers != 0 {
+				continue // a worker variant under an unexpected name
+			}
+			key := fmt.Sprintf("%s|%s|%s|%d|%g", f.Figure, base, run.Dist, run.N, run.Sigma)
+			c := byKey[key]
+			if c == nil {
+				c = &cell{figure: f.Figure, engine: base,
+					workload: fmt.Sprintf("%s d=%d n=%d σ=%g", run.Dist, run.Dims, run.N, run.Sigma)}
+				byKey[key] = c
+				order = append(order, key)
+			}
+			if isParallel {
+				c.parallelMS, c.workers = run.TotalMS, run.Workers
+			} else {
+				c.serialMS = run.TotalMS
+			}
+		}
+	}
+
+	var rows []*cell
+	workers := 0
+	for _, key := range order {
+		c := byKey[key]
+		if c.serialMS > 0 && c.parallelMS > 0 {
+			rows = append(rows, c)
+			workers = c.workers
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "No serial/parallel run pairs to compare (run with -workers N for the speedup table).")
+		return
+	}
+
+	fmt.Fprintf(w, "### Multicore speedup (w=%d vs serial)\n\n", workers)
+	fmt.Fprintln(w, "| Figure | Engine | Workload | serial ms | parallel ms | speedup |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|")
+	speedups := make([]float64, 0, len(rows))
+	for _, c := range rows {
+		s := c.serialMS / c.parallelMS
+		speedups = append(speedups, s)
+		fmt.Fprintf(w, "| %s | %s | %s | %.1f | %.1f | %.2f× |\n",
+			c.figure, c.engine, c.workload, c.serialMS, c.parallelMS, s)
+	}
+	sort.Float64s(speedups)
+	median := speedups[len(speedups)/2]
+	if len(speedups)%2 == 0 {
+		median = (speedups[len(speedups)/2-1] + speedups[len(speedups)/2]) / 2
+	}
+	fmt.Fprintf(w, "\nmedian %.2f×, best %.2f×, worst %.2f× over %d cells\n",
+		median, speedups[len(speedups)-1], speedups[0], len(speedups))
+}

@@ -50,6 +50,51 @@ func (o Ordering) String() string {
 	}
 }
 
+// RankerKind selects the benefit model behind the progressive scheduler's
+// Benefit/Cost ranks — the sched.Ranker implementation the engine hands to
+// sched.NewProgressive. The scheduler layer is agnostic to the choice; only
+// the rank values (and therefore the schedule) change.
+type RankerKind int8
+
+const (
+	// RankBenefitCost is Equation 8 as written: Benefit = ProgCount-weighted
+	// cardinality, Cost = the Equation 7 work model. ProgCount is exact but
+	// is the expensive term of every lazy rank refresh.
+	RankBenefitCost RankerKind = iota
+	// RankCardinality drops the progressiveness term: Benefit is the
+	// estimated skyline cardinality of the region alone, over the same
+	// Equation 7 cost. Each refresh is O(1) — no ProgCount, no orthant
+	// queries — trading schedule quality for refresh cost on workloads whose
+	// rank order is cardinality-driven anyway.
+	RankCardinality
+)
+
+// String names the ranker the way the -ranker flag and the query service
+// spell it.
+func (k RankerKind) String() string {
+	switch k {
+	case RankCardinality:
+		return "cardinality"
+	case RankBenefitCost:
+		return "benefit-cost"
+	default:
+		return fmt.Sprintf("RankerKind(%d)", int8(k))
+	}
+}
+
+// ParseRanker resolves a ranker name ("benefit-cost", "cardinality"; empty
+// selects the default) to its kind.
+func ParseRanker(s string) (RankerKind, error) {
+	switch s {
+	case "", "benefit-cost":
+		return RankBenefitCost, nil
+	case "cardinality":
+		return RankCardinality, nil
+	default:
+		return 0, fmt.Errorf("unknown ranker %q (want benefit-cost or cardinality)", s)
+	}
+}
+
 // Options configures the ProgXe engine.
 type Options struct {
 	// InputCells is the grid resolution g per used dimension on each input
@@ -63,6 +108,9 @@ type Options struct {
 	OutputCells int
 	// Ordering is the region-ordering policy. Default OrderProgressive.
 	Ordering Ordering
+	// Ranker selects the benefit model driving OrderProgressive's ranks
+	// (ignored by the other orderings). Default RankBenefitCost.
+	Ranker RankerKind
 	// PushThrough enables skyline partial push-through on each source
 	// before partitioning — the ProgXe+ variants.
 	PushThrough bool
@@ -128,6 +176,9 @@ func (e *Engine) Name() string {
 	}
 	if e.opts.Ordering != OrderProgressive {
 		name += " (No-Order)"
+	}
+	if e.opts.Ordering == OrderProgressive && e.opts.Ranker == RankCardinality {
+		name += " (card-ranker)"
 	}
 	return name
 }
@@ -314,7 +365,13 @@ func (r *runState) loop() error {
 		for i := range dims {
 			dims[i] = r.space.g.CellsPerDim(i)
 		}
-		r.sched = sched.NewProgressive(schedBoxes(r.regions), dims, r.rankRegion, r.workers())
+		// The ranker handed to the scheduler is the engine's only influence
+		// on ProgOrder's decisions — swapping it proves the layer pluggable.
+		ranker := sched.Ranker(r.rankRegion)
+		if opts.Ranker == RankCardinality && opts.Ordering == OrderProgressive {
+			ranker = r.rankCardinality
+		}
+		r.sched = sched.NewProgressive(schedBoxes(r.regions), dims, ranker, r.workers())
 	}
 	// Construction-time counters land in the stats immediately, and the
 	// running refresh tally is folded in on every exit path, so canceled
@@ -372,6 +429,15 @@ func (r *runState) rankRegion(id int) float64 {
 		reg.benefit = float64(reg.joinCard)
 		reg.rank = reg.benefit / reg.cost
 	}
+	return reg.rank
+}
+
+// rankCardinality is the cardinality-aware sched.Ranker: Equation 8 with
+// the progressiveness term dropped, so a refresh costs O(1) — no ProgCount
+// scan, no orthant queries (see RankCardinality).
+func (r *runState) rankCardinality(id int) float64 {
+	reg := r.regions[id]
+	analyseCardinality(reg, r.d, r.outCells)
 	return reg.rank
 }
 

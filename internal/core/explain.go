@@ -99,6 +99,31 @@ func Explain(p *smj.Problem, opts Options) (Plan, error) {
 	return plan, nil
 }
 
+// planPartitions is the look-ahead preamble shared by the Plan* benchmark
+// entry points: problem validation, the pre-partitioning push-through a
+// real run would apply (so the derived geometry matches RunContext's), and
+// input partitioning under the configured method. opts must already carry
+// defaults.
+func planPartitions(p *smj.Problem, opts Options) (lparts, rparts []*inputPartition, cp *smj.Problem, d int, err error) {
+	cp, d, err = checkProblem(p)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	left, right := cp.Left, cp.Right
+	if opts.PushThrough {
+		left, _ = smj.PushThrough(left, cp.Maps, mapping.Left)
+		right, _ = smj.PushThrough(right, cp.Maps, mapping.Right)
+	}
+	e := New(opts)
+	if lparts, err = e.partition(left, cp.Maps, mapping.Left); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if rparts, err = e.partition(right, cp.Maps, mapping.Right); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return lparts, rparts, cp, d, nil
+}
+
 // PlanBoxes runs the look-ahead phases (§III-A) and returns the live
 // regions' coordinate boxes on the output grid together with the grid's
 // per-dimension cell counts — the scheduler layer's exact input. Benchmarks
@@ -109,23 +134,7 @@ func PlanBoxes(p *smj.Problem, opts Options) ([]sched.Box, []int, error) {
 	if opts.Workers < 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	cp, d, err := checkProblem(p)
-	if err != nil {
-		return nil, nil, err
-	}
-	left, right := cp.Left, cp.Right
-	if opts.PushThrough {
-		// Same pre-partitioning pruning RunContext applies, so the boxes
-		// describe the region geometry a real run would build.
-		left, _ = smj.PushThrough(left, cp.Maps, mapping.Left)
-		right, _ = smj.PushThrough(right, cp.Maps, mapping.Right)
-	}
-	e := New(opts)
-	lparts, err := e.partition(left, cp.Maps, mapping.Left)
-	if err != nil {
-		return nil, nil, err
-	}
-	rparts, err := e.partition(right, cp.Maps, mapping.Right)
+	lparts, rparts, cp, d, err := planPartitions(p, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -147,6 +156,24 @@ func PlanBoxes(p *smj.Problem, opts Options) ([]sched.Box, []int, error) {
 		dims[i] = s.g.CellsPerDim(i)
 	}
 	return schedBoxes(regions), dims, nil
+}
+
+// PlanRects runs the look-ahead pairing of §III-A and returns every
+// candidate region's output-space enclosure BEFORE domination pruning — the
+// exact input of the region-pruning pass. Benchmarks use it to measure the
+// box-index pruning sweep against the retained O(n²) scan in isolation.
+func PlanRects(p *smj.Problem, opts Options) ([]grid.Rect, error) {
+	opts = opts.withDefaults()
+	lparts, rparts, cp, _, err := planPartitions(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	all := pairRegions(lparts, rparts, cp.Maps)
+	rects := make([]grid.Rect, len(all))
+	for i, r := range all {
+		rects[i] = r.rect
+	}
+	return rects, nil
 }
 
 // String renders the plan as a multi-line report.

@@ -43,14 +43,11 @@ type region struct {
 	rank    float64 // Equation 8: Benefit / Cost, as of the last analyse
 }
 
-// buildRegions pairs the input partitions, keeps pairs whose exact join
-// signatures intersect (guaranteed populated), computes their output
-// enclosures via interval propagation, and applies region-level domination
-// pruning (Output Space Look-Ahead step 1). The returned regions are live;
-// pruned is the count eliminated before any tuple work. The O(n²) pruning
-// scan fans out across workers; each index's verdict is independent, so the
-// result is identical for any worker count.
-func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int) (regions []*region, pruned int) {
+// pairRegions pairs the input partitions and keeps pairs whose exact join
+// signatures intersect (guaranteed populated), computing their output
+// enclosures via interval propagation — the region candidates before
+// domination pruning.
+func pairRegions(left, right []*inputPartition, maps *mapping.Set) []*region {
 	var all []*region
 	for _, a := range left {
 		for _, b := range right {
@@ -67,25 +64,43 @@ func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int)
 			})
 		}
 	}
-	// Region-level pruning: X is eliminated if some guaranteed-populated
-	// region's UPPER point dominates LOWER(X) (Example 2). Pruning by a
-	// region that is itself pruned stays sound: the domination relation over
-	// enclosures is acyclic and chains down to a surviving witness region.
-	dominated := make([]bool, len(all))
-	par.For(len(all), workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x := all[i]
-			for j, y := range all {
-				if i == j {
-					continue
-				}
-				if y.rect.DominatesRect(x.rect) {
-					dominated[i] = true
-					break
-				}
-			}
-		}
-	})
+	return all
+}
+
+// pruneOracle forces region pruning through the retained all-pairs scan
+// instead of the box-index sweep; the differential tests flip it to pin
+// that both paths keep and prune identical region sets (and therefore
+// identical emission streams).
+var pruneOracle = false
+
+// prunedRegions marks every candidate region whose enclosure is dominated
+// by another candidate's enclosure: X is eliminated if some
+// guaranteed-populated region's UPPER point dominates LOWER(X) (Example 2).
+// Pruning by a region that is itself pruned stays sound: the domination
+// relation over enclosures is a strict partial order and chains down to a
+// surviving witness region. The verdicts come from the shared output-space
+// box index (grid.DominatedRects) in sub-quadratic time; the O(n²) scan is
+// retained as the differential oracle and benchmark baseline, fanned out
+// across workers. Both paths mark the same set, so the choice is invisible
+// to the engine's output.
+func prunedRegions(all []*region, workers int) []bool {
+	rects := make([]grid.Rect, len(all))
+	for i, r := range all {
+		rects[i] = r.rect
+	}
+	if pruneOracle {
+		return grid.DominatedRectsQuadratic(rects, workers)
+	}
+	return grid.DominatedRects(rects)
+}
+
+// buildRegions pairs the input partitions into candidate regions and
+// applies region-level domination pruning (Output Space Look-Ahead step 1).
+// The returned regions are live; pruned is the count eliminated before any
+// tuple work. The verdict set is independent of the worker count.
+func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int) (regions []*region, pruned int) {
+	all := pairRegions(left, right, maps)
+	dominated := prunedRegions(all, workers)
 	for _, d := range dominated {
 		if d {
 			pruned++
@@ -345,13 +360,32 @@ func analyse(s *space, r *region, d, outputCells int) {
 		total = 1
 	}
 	r.benefit = float64(pc) / float64(total) * card
+	r.cost = analyseCost(r, d, outputCells, total)
+	r.rank = r.benefit / r.cost
+}
 
-	// Cost model, Equation 7. CPavg follows §IV-C's k·d comparable
-	// partitions; savg is the expected occupancy of a populated cell.
+// analyseCardinality is the RankCardinality benefit model: the region's
+// estimated skyline cardinality stands in for the ProgCount-weighted
+// benefit, over the unchanged Equation 7 cost. It reads only the region's
+// construction-time quantities, so a refresh is O(1) and independent of the
+// output space's current state.
+func analyseCardinality(r *region, d, outputCells int) {
+	r.benefit = skyline.EstimateCardinality(float64(r.joinCard), d)
+	total := len(r.cells)
+	if total == 0 {
+		total = 1
+	}
+	r.cost = analyseCost(r, d, outputCells, total)
+	r.rank = r.benefit / r.cost
+}
+
+// analyseCost is the cost model, Equation 7. CPavg follows §IV-C's k·d
+// comparable partitions; savg is the expected occupancy of a populated cell.
+func analyseCost(r *region, d, outputCells, totalCells int) float64 {
 	nanb := float64(r.a.len()) * float64(r.b.len())
 	jc := float64(r.joinCard)
 	cp := float64(outputCells * d)
-	savg := jc / float64(total)
+	savg := jc / float64(totalCells)
 	if savg < 1 {
 		savg = 1
 	}
@@ -361,9 +395,9 @@ func analyse(s *space, r *region, d, outputCells int) {
 	if work > 1 {
 		logTerm = math.Pow(math.Log2(work), alpha)
 	}
-	r.cost = nanb + jc + jc*work*logTerm
-	if r.cost <= 0 {
-		r.cost = 1
+	cost := nanb + jc + jc*work*logTerm
+	if cost <= 0 {
+		cost = 1
 	}
-	r.rank = r.benefit / r.cost
+	return cost
 }

@@ -42,288 +42,68 @@ func CompletelyEliminates(x, y Box) bool { return grid.StrictlyBelow(x.Min, y.Mi
 // construction; larger grids fall back to the bucket-scan path. A variable
 // (not const) so the differential tests can force the fallback on small
 // grids.
-var fenLimit = 1 << 21
+var fenLimit = grid.BoxIndexFenLimit
 
-// maxEntry is one region in a maxC grid bucket, carrying the packed maxC
-// key inline so the edge filter runs as a sequential scan without chasing a
-// side table (the cellIndex bucketEntry pattern).
-type maxEntry struct {
-	id  int32
-	key uint64
-}
-
-// incGraph answers the edge queries through a coordinate-box index instead
-// of materialized adjacency:
-//
-//   - in-degrees come from a Fenwick tree over the regions' minC corners —
-//     inDeg(Y) counts regions X with minC(X) ≤ maxC(Y)−1 componentwise, a
-//     closed-lower-orthant query — so construction is O(n·polylog) instead
-//     of the batch builder's O(n²) pair scan;
-//   - release(X) enumerates targets through per-dimension grid buckets of
-//     maxC values: the dimension with the fewest candidates ≥ minC(X)+1 is
-//     scanned, each candidate filtered by one packed-key comparison (the
-//     coordinate-slice compare when packing is unavailable).
+// incGraph answers the edge queries through the shared output-space box
+// index (grid.BoxIndex) instead of materialized adjacency. The §IV-B edge
+// predicate minC(X) < maxC(Y) everywhere becomes the index's closed corner
+// relation by the +1 shift: src = minC+1, dst = maxC, and X → Y iff
+// src(X) ≤ dst(Y) componentwise. In-degrees are the index's bulk orthant
+// counts (Fenwick under fenLimit, bucket-scan beyond), release(X) is the
+// index's live-successor enumeration over per-dimension maxC buckets with
+// packed-key filtering, and retire maps directly.
 //
 // Out-edge lists are never stored: with n regions the graph can hold Θ(n²)
 // edges, and each is needed exactly once — at its source's release.
 type incGraph struct {
-	boxes  []Box
-	k      []int // grid cells per dimension
-	packed bool
-
-	minKey1 []uint64 // packed minC+1 per region (edge-test left operand)
-
-	byMax [][][]maxEntry // [dim][v]: live regions with maxC[dim] == v, ascending id
-	// sufFen[i] counts live regions per maxC[i] bucket as a 1-D Fenwick, so
-	// the live-suffix count behind release's dimension choice is an
-	// O(log k) query and retire an O(log k) update per dimension (a plain
-	// suffix array would cost O(k) per retire).
-	sufFen []*grid.Fenwick
-	live   int32
-
+	ix     *grid.BoxIndex
 	inDeg  []int32
 	nedges int
 }
 
-// liveSuffix returns the number of live regions with maxC[dim] ≥ v.
-func (g *incGraph) liveSuffix(dim, v int) int32 {
-	if v == 0 {
-		return g.live
-	}
-	q := [1]int{v - 1}
-	return g.live - int32(g.sufFen[dim].Count(q[:]))
-}
-
 func newIncGraph(boxes []Box, k []int, workers int, fenwickUpdates *int) *incGraph {
-	g := &incGraph{boxes: boxes, k: k, packed: len(k) <= 8}
-	for _, n := range k {
-		if n > 128 {
-			g.packed = false
-		}
-	}
 	d := len(k)
-	g.byMax = make([][][]maxEntry, d)
-	g.sufFen = make([]*grid.Fenwick, d)
-	for i := 0; i < d; i++ {
-		g.byMax[i] = make([][]maxEntry, k[i])
-		g.sufFen[i], _ = grid.NewFenwick(k[i : i+1])
-	}
-	if g.packed {
-		g.minKey1 = make([]uint64, len(boxes))
-	}
-	g.live = int32(len(boxes))
-	min1 := make([]int, d)
+	src := make([][]int, len(boxes))
+	dst := make([][]int, len(boxes))
+	flat := make([]int, len(boxes)*d) // one backing block for the shifted corners
 	for id, b := range boxes {
-		var maxKey uint64
-		if g.packed {
-			for i, v := range b.Min {
-				min1[i] = v + 1
-			}
-			g.minKey1[id] = grid.PackKey(min1)
-			maxKey = grid.PackKey(b.Max)
+		s := flat[:d:d]
+		flat = flat[d:]
+		for i, v := range b.Min {
+			s[i] = v + 1
 		}
-		for i, v := range b.Max {
-			g.byMax[i][v] = append(g.byMax[i][v], maxEntry{id: int32(id), key: maxKey})
+		src[id] = s
+		dst[id] = b.Max
+	}
+	g := &incGraph{ix: grid.NewBoxIndex(src, dst, k, fenLimit)}
+	g.inDeg = g.ix.InDegrees(workers)
+	for y, b := range boxes {
+		if grid.StrictlyBelow(b.Min, b.Max) {
+			g.inDeg[y]-- // the region itself satisfies the predicate
 		}
 	}
-	for i := 0; i < d; i++ {
-		for v := 0; v < k[i]; v++ {
-			if n := len(g.byMax[i][v]); n > 0 {
-				q := [1]int{v}
-				g.sufFen[i].Add(q[:], int32(n))
-			}
-		}
-	}
-	g.buildInDegrees(workers, fenwickUpdates)
-	return g
-}
-
-// buildInDegrees fills inDeg by orthant counting. Each region's in-degree is
-// independent, so the query pass fans out across workers with no merge step
-// — the result is identical for any worker count.
-func (g *incGraph) buildInDegrees(workers int, fenwickUpdates *int) {
-	g.inDeg = make([]int32, len(g.boxes))
-	total := 1
-	for _, n := range g.k {
-		if total > fenLimit/n {
-			total = fenLimit + 1
-			break
-		}
-		total *= n
-	}
-	var fen *grid.Fenwick
-	if total <= fenLimit {
-		fen, _ = grid.NewFenwick(g.k)
-	}
-	if fen != nil {
-		for _, b := range g.boxes {
-			fen.Add(b.Min, 1)
-		}
-		if fenwickUpdates != nil {
-			*fenwickUpdates += len(g.boxes)
-		}
-		query := func(lo, hi int) {
-			q := make([]int, len(g.k)) // per-chunk scratch
-			for y := lo; y < hi; y++ {
-				b := g.boxes[y]
-				n := 0
-				empty := false
-				for i, v := range b.Max {
-					if v == 0 {
-						empty = true
-						break
-					}
-					q[i] = v - 1
-				}
-				if !empty {
-					n = fen.Count(q)
-					if grid.StrictlyBelow(b.Min, b.Max) {
-						n-- // the region itself satisfies the predicate
-					}
-				}
-				g.inDeg[y] = int32(n)
-			}
-		}
-		par.For(len(g.boxes), workers, query)
-	} else {
-		// Bucket-scan fallback for grids too large to tree: count the
-		// sources of each region through the release enumeration run in
-		// reverse (X → Y iff Y's release-candidacy test passes for X's
-		// corner), using per-dimension minC buckets.
-		d := len(g.k)
-		byMin := make([][][]int32, d)
-		pre := make([][]int32, d)
-		for i := 0; i < d; i++ {
-			byMin[i] = make([][]int32, g.k[i])
-			pre[i] = make([]int32, g.k[i]+1)
-		}
-		for id, b := range g.boxes {
-			for i, v := range b.Min {
-				byMin[i][v] = append(byMin[i][v], int32(id))
-			}
-		}
-		for i := 0; i < d; i++ {
-			for v := 0; v < g.k[i]; v++ {
-				pre[i][v+1] = pre[i][v] + int32(len(byMin[i][v]))
-			}
-		}
-		par.For(len(g.boxes), workers, func(lo, hi int) {
-			for y := lo; y < hi; y++ {
-				b := g.boxes[y]
-				// Scan the dimension with the fewest minC values below maxC.
-				best, bestN := -1, int32(0)
-				for i, v := range b.Max {
-					n := pre[i][v] // minC[i] ≤ v-1
-					if best < 0 || n < bestN {
-						best, bestN = i, n
-					}
-				}
-				if bestN == 0 {
-					continue
-				}
-				var maxKey uint64
-				if g.packed {
-					maxKey = grid.PackKey(b.Max)
-				}
-				n := int32(0)
-				for v := 0; v < b.Max[best]; v++ {
-					for _, x := range byMin[best][v] {
-						if int(x) == y {
-							continue
-						}
-						if g.packed {
-							if grid.KeyLeq(g.minKey1[x], maxKey) {
-								n++
-							}
-						} else if g.hasEdge(x, int32(y)) {
-							n++
-						}
-					}
-				}
-				g.inDeg[y] = n
-			}
-		})
+	if fenwickUpdates != nil {
+		*fenwickUpdates += g.ix.FenwickUpdates()
 	}
 	for _, n := range g.inDeg {
 		g.nedges += int(n)
 	}
-}
-
-// hasEdge tests minC(x) < maxC(y) in every dimension.
-func (g *incGraph) hasEdge(x, y int32) bool {
-	return grid.StrictlyBelow(g.boxes[x].Min, g.boxes[y].Max)
+	return g
 }
 
 func (g *incGraph) inDegrees() []int32 { return g.inDeg }
 func (g *incGraph) edges() int         { return g.nedges }
 
-// retire removes a dead region from the maxC buckets and the live suffix
-// counts, so later releases neither scan nor enumerate it. On dense graphs
-// this halves release work on average — and far more when discard cascades
-// kill regions early.
-func (g *incGraph) retire(x int32) {
-	b := g.boxes[x]
-	removed := false
-	for i, v := range b.Max {
-		bucket := g.byMax[i][v]
-		lo, hi := 0, len(bucket)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if bucket[mid].id < x {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(bucket) && bucket[lo].id == x {
-			copy(bucket[lo:], bucket[lo+1:])
-			g.byMax[i][v] = bucket[:len(bucket)-1]
-			q := [1]int{v}
-			g.sufFen[i].Add(q[:], -1)
-			removed = true
-		}
-	}
-	if removed {
-		g.live--
-	}
-}
+// retire removes a dead region from the index's successor side, so later
+// releases neither scan nor enumerate it. On dense graphs this halves
+// release work on average — and far more when discard cascades kill regions
+// early.
+func (g *incGraph) retire(x int32) { g.ix.Retire(x) }
 
 // release enumerates the live out-edge targets of x: regions whose maxC is
-// componentwise ≥ minC(x)+1, found by scanning the grid buckets of the
-// dimension with the fewest such candidates and filtering the rest with one
-// packed-key comparison each (x itself was retired before its release, so
-// the buckets never hand it back).
-func (g *incGraph) release(x int32, fn func(y int32)) {
-	b := g.boxes[x]
-	best, bestN := -1, int32(0)
-	for i, v := range b.Min {
-		n := g.liveSuffix(i, v+1) // v+1 ≤ k[i]; the top suffix is empty
-		if best < 0 || n < bestN {
-			best, bestN = i, n
-		}
-	}
-	if bestN == 0 {
-		return
-	}
-	if g.packed {
-		key1 := g.minKey1[x]
-		for v := b.Min[best] + 1; v < g.k[best]; v++ {
-			for _, e := range g.byMax[best][v] {
-				if grid.KeyLeq(key1, e.key) {
-					fn(e.id)
-				}
-			}
-		}
-		return
-	}
-	for v := b.Min[best] + 1; v < g.k[best]; v++ {
-		for _, e := range g.byMax[best][v] {
-			if g.hasEdge(x, e.id) {
-				fn(e.id)
-			}
-		}
-	}
-}
+// componentwise ≥ minC(x)+1 (x itself was retired before its release, so
+// the index never hands it back).
+func (g *incGraph) release(x int32, fn func(y int32)) { g.ix.EachOut(x, fn) }
 
 // batchGraph is the seed's O(n²) builder: the all-pairs edge scan with
 // materialized adjacency, exactly as buildELGraph ran it inside the engine.

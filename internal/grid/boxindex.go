@@ -1,0 +1,416 @@
+package grid
+
+import "progxe/internal/par"
+
+// BoxIndexFenLimit is the default cap on the cell count of the Fenwick tree
+// backing orthant counts; larger coordinate grids fall back to the
+// per-dimension bucket-scan path. Callers with test or tuning needs pass
+// their own limit to NewBoxIndex.
+const BoxIndexFenLimit = 1 << 21
+
+// BoxIndex indexes a fixed set of n boxes for corner-domination queries on
+// an integer coordinate grid. Each box carries two corners — a source corner
+// src(i) and a target corner dst(i), both d-dimensional — and every query is
+// about the closed relation
+//
+//	x → y  iff  src(x) ≤ dst(y) componentwise,
+//
+// answered three ways: bulk per-box predecessor counts (InDegrees), forward
+// enumeration of the live successors of one box (EachOut), and backward
+// enumeration of the predecessors of one box (EachIn / InCount). Its two
+// consumers map their predicates onto that one relation:
+//
+//   - the scheduler layer's EL-Graph (internal/core/sched) passes
+//     src = minC+1 and dst = maxC, turning the strict §IV-B edge predicate
+//     minC(x) < maxC(y) everywhere into the closed form above;
+//   - the float-rect domination index (RectIndex) passes src = upper-corner
+//     coordinate ranks and dst = lower-corner ranks, so x → y states
+//     UPPER(x) ≤ LOWER(y) everywhere — box domination up to the
+//     strict-somewhere check the caller adds.
+//
+// The machinery is the cellIndex/EL-Graph pattern: per-dimension grid
+// buckets of dst corners with the packed coordinate key inlined per entry,
+// per-dimension live-count Fenwicks so the cheapest dimension to scan is an
+// O(log k) decision, and a d-dimensional Fenwick over src corners for
+// orthant counting when the grid fits the limit. Coordinates pack into 8-bit
+// SWAR lanes when d ≤ 8: exactly when every dimension has ≤ 128 values
+// (one KeyLeq decides the comparison), and as a monotone coarse prefilter —
+// lane = value >> shift — on wider dimensions, where survivors are confirmed
+// by the coordinate-slice compare. More than 8 dimensions compares slices
+// directly.
+//
+// src coordinates may reach k[i] (the sched layer's +1 shift at the top of a
+// dimension); dst coordinates stay within [0, k[i]).
+//
+// Retire removes a box from the successor (dst) side only: EachOut stops
+// enumerating it, while InDegrees, EachIn and InCount keep counting it as a
+// predecessor. Both consumers want exactly that asymmetry — a scheduled
+// region's in-edges are never consulted again, and a dominated rect remains
+// a valid dominator for the pruning chain argument.
+type BoxIndex struct {
+	src, dst [][]int // aliased caller corners, read-only
+	k        []int
+	d        int
+
+	keyed bool     // d ≤ 8: packed lane keys exist
+	exact bool     // keyed and every dimension fits 128 values: keys decide
+	shift []uint   // per-dimension lane shift (0 when exact)
+	sKey  []uint64 // packed (possibly coarse) src key per box
+	dKey  []uint64 // packed (possibly coarse) dst key per box
+
+	byDst [][][]boxEntry // [dim][v]: live boxes with dst[dim] == v, ascending id
+	// sufFen[dim] counts live boxes per dst bucket (suffix counts in
+	// O(log k)). nil for a dimension wider than the Fenwick cell cap:
+	// liveSuffix then reports the full live count, so steering never
+	// prefers that dimension — scans stay correct, merely unguided.
+	sufFen []*Fenwick
+	live   int32
+
+	// Backward-query state, built on first use: src corners bucketed per
+	// dimension with prefix counts, and the orthant-count Fenwick.
+	bySrc    [][][]int32
+	preSrc   [][]int32
+	srcFen   *Fenwick
+	fenTried bool // EnableInCounts already ran (nil srcFen = grid too large)
+
+	fenLimit int
+	updates  int // point updates on the src-corner Fenwick
+}
+
+// boxEntry is one box in a dst bucket, carrying its packed key inline so
+// filtering runs as a sequential scan without chasing a side table.
+type boxEntry struct {
+	id  int32
+	key uint64
+}
+
+// NewBoxIndex builds the index over n (src, dst) corner pairs on a grid with
+// k[i] values per dimension. fenLimit caps the cell count of the orthant
+// Fenwick (≤ 0 selects BoxIndexFenLimit). The corner slices are aliased, not
+// copied, and must stay immutable for the index's lifetime.
+func NewBoxIndex(src, dst [][]int, k []int, fenLimit int) *BoxIndex {
+	if fenLimit <= 0 {
+		fenLimit = BoxIndexFenLimit
+	}
+	ix := &BoxIndex{src: src, dst: dst, k: k, d: len(k), fenLimit: fenLimit}
+	ix.keyed = ix.d <= 8
+	ix.exact = ix.keyed
+	ix.shift = make([]uint, ix.d)
+	for i, n := range k {
+		for (n-1)>>ix.shift[i] > 127 {
+			ix.shift[i]++
+			ix.exact = false
+		}
+	}
+	ix.byDst = make([][][]boxEntry, ix.d)
+	ix.sufFen = make([]*Fenwick, ix.d)
+	for i := 0; i < ix.d; i++ {
+		ix.byDst[i] = make([][]boxEntry, k[i])
+		ix.sufFen[i], _ = NewFenwick(k[i : i+1])
+	}
+	if ix.keyed {
+		ix.sKey = make([]uint64, len(src))
+		ix.dKey = make([]uint64, len(src))
+	}
+	ix.live = int32(len(src))
+	for id := range src {
+		var dk uint64
+		if ix.keyed {
+			ix.sKey[id] = ix.packKey(src[id])
+			dk = ix.packKey(dst[id])
+			ix.dKey[id] = dk
+		}
+		for i, v := range dst[id] {
+			ix.byDst[i][v] = append(ix.byDst[i][v], boxEntry{id: int32(id), key: dk})
+		}
+	}
+	for i := 0; i < ix.d; i++ {
+		if ix.sufFen[i] == nil {
+			continue
+		}
+		for v := 0; v < k[i]; v++ {
+			if n := len(ix.byDst[i][v]); n > 0 {
+				q := [1]int{v}
+				ix.sufFen[i].Add(q[:], int32(n))
+			}
+		}
+	}
+	return ix
+}
+
+// packKey packs coordinates into 8-bit lanes under the per-dimension coarse
+// shift. With all shifts zero this is PackKey and the key is exact; otherwise
+// the map is monotone per lane, so key-≤ is a necessary condition for
+// coordinate-≤ and survivors need the slice compare.
+func (ix *BoxIndex) packKey(coords []int) uint64 {
+	var key uint64
+	for i, v := range coords {
+		key |= uint64(v>>ix.shift[i]) << (8 * i)
+	}
+	return key
+}
+
+// leqSrcDst reports src(x) ≤ dst(y) componentwise through the cheapest
+// conclusive path: one packed compare when keys are exact, the coarse-key
+// prefilter plus slice confirm otherwise.
+func (ix *BoxIndex) leqSrcDst(x, y int32) bool {
+	if ix.keyed {
+		if !KeyLeq(ix.sKey[x], ix.dKey[y]) {
+			return false
+		}
+		if ix.exact {
+			return true
+		}
+	}
+	return LeqAll(ix.src[x], ix.dst[y])
+}
+
+// Live returns the number of boxes not yet retired.
+func (ix *BoxIndex) Live() int { return int(ix.live) }
+
+// FenwickUpdates reports the point updates applied to the src-corner orthant
+// Fenwick (0 when the bucket-scan fallback ran instead).
+func (ix *BoxIndex) FenwickUpdates() int { return ix.updates }
+
+// liveSuffix returns the number of live boxes with dst[dim] ≥ v — exact
+// when the dimension carries a suffix Fenwick, the full live count (a safe
+// overestimate that steers scans elsewhere) when it is too wide for one.
+func (ix *BoxIndex) liveSuffix(dim, v int) int32 {
+	if v <= 0 {
+		return ix.live
+	}
+	if v >= ix.k[dim] {
+		return 0
+	}
+	if ix.sufFen[dim] == nil {
+		return ix.live
+	}
+	q := [1]int{v - 1}
+	return ix.live - int32(ix.sufFen[dim].Count(q[:]))
+}
+
+// EachOut enumerates the live boxes y with dst(y) ≥ src(x) componentwise —
+// the successors of x — in unspecified order. x itself is enumerated when it
+// is live and satisfies the relation; callers that must not see it retire it
+// first (the scheduler) or filter it (callers whose relation excludes self).
+func (ix *BoxIndex) EachOut(x int32, fn func(y int32)) {
+	q := ix.src[x]
+	best, bestN := -1, int32(0)
+	for i, v := range q {
+		n := ix.liveSuffix(i, v)
+		if best < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	if bestN == 0 {
+		return
+	}
+	buckets := ix.byDst[best]
+	if ix.exact {
+		key := ix.sKey[x]
+		for v := q[best]; v < ix.k[best]; v++ {
+			for _, e := range buckets[v] {
+				if KeyLeq(key, e.key) {
+					fn(e.id)
+				}
+			}
+		}
+		return
+	}
+	if ix.keyed {
+		key := ix.sKey[x]
+		for v := q[best]; v < ix.k[best]; v++ {
+			for _, e := range buckets[v] {
+				if KeyLeq(key, e.key) && LeqAll(q, ix.dst[e.id]) {
+					fn(e.id)
+				}
+			}
+		}
+		return
+	}
+	for v := q[best]; v < ix.k[best]; v++ {
+		for _, e := range buckets[v] {
+			if LeqAll(q, ix.dst[e.id]) {
+				fn(e.id)
+			}
+		}
+	}
+}
+
+// Retire removes a box from the successor side: subsequent EachOut calls
+// skip it, and the live suffix counts steering the scans shrink. Counting
+// queries (InDegrees, EachIn, InCount) are unaffected. Retiring twice is a
+// no-op.
+func (ix *BoxIndex) Retire(id int32) {
+	removed := false
+	for i, v := range ix.dst[id] {
+		bucket := ix.byDst[i][v]
+		lo, hi := 0, len(bucket)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bucket[mid].id < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(bucket) && bucket[lo].id == id {
+			copy(bucket[lo:], bucket[lo+1:])
+			ix.byDst[i][v] = bucket[:len(bucket)-1]
+			if ix.sufFen[i] != nil {
+				q := [1]int{v}
+				ix.sufFen[i].Add(q[:], -1)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		ix.live--
+	}
+}
+
+// ensureSrcBuckets lazily builds the backward-query side: per-dimension
+// buckets of src corners with prefix counts. src values may reach k[i], so
+// the bucket arrays carry one extra slot.
+func (ix *BoxIndex) ensureSrcBuckets() {
+	if ix.bySrc != nil {
+		return
+	}
+	ix.bySrc = make([][][]int32, ix.d)
+	ix.preSrc = make([][]int32, ix.d)
+	for i := 0; i < ix.d; i++ {
+		ix.bySrc[i] = make([][]int32, ix.k[i]+1)
+		ix.preSrc[i] = make([]int32, ix.k[i]+2)
+	}
+	for id, s := range ix.src {
+		for i, v := range s {
+			ix.bySrc[i][v] = append(ix.bySrc[i][v], int32(id))
+		}
+	}
+	for i := 0; i < ix.d; i++ {
+		for v := 0; v <= ix.k[i]; v++ {
+			ix.preSrc[i][v+1] = ix.preSrc[i][v] + int32(len(ix.bySrc[i][v]))
+		}
+	}
+}
+
+// EachIn enumerates the boxes x with src(x) ≤ dst(y) componentwise — the
+// predecessors of y, retired or not, y itself included when it satisfies the
+// relation — stopping early when fn returns false. It reports whether the
+// enumeration ran to completion.
+func (ix *BoxIndex) EachIn(y int32, fn func(x int32) bool) bool {
+	ix.ensureSrcBuckets()
+	q := ix.dst[y]
+	best, bestN := -1, int32(0)
+	for i, v := range q {
+		n := ix.preSrc[i][v+1]
+		if best < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	if bestN == 0 {
+		return true
+	}
+	for v := 0; v <= q[best]; v++ {
+		for _, x := range ix.bySrc[best][v] {
+			if ix.leqSrcDst(x, y) && !fn(x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnableInCounts builds the src-corner orthant Fenwick when the grid fits
+// the limit, making InCount O(∏ log k) instead of a bucket scan. A no-op
+// after the first call, whichever way it went — a too-large grid is
+// remembered, so per-query callers don't re-pay the sizing scan (InCount
+// then reports ok = false and they enumerate instead).
+func (ix *BoxIndex) EnableInCounts() {
+	if ix.fenTried {
+		return
+	}
+	ix.fenTried = true
+	dims := make([]int, ix.d)
+	total := 1
+	for i := range dims {
+		var hi int
+		for _, s := range ix.src {
+			if s[i] > hi {
+				hi = s[i]
+			}
+		}
+		dims[i] = hi + 1
+		if total > ix.fenLimit/dims[i] {
+			return
+		}
+		total *= dims[i]
+	}
+	fen, err := NewFenwick(dims)
+	if err != nil {
+		return
+	}
+	for _, s := range ix.src {
+		fen.Add(s, 1)
+	}
+	ix.updates += len(ix.src)
+	ix.srcFen = fen
+}
+
+// InCount returns the number of predecessors of y (boxes x, retired or not
+// and y itself included, with src(x) ≤ dst(y) componentwise) when the
+// orthant Fenwick is available, and ok = false otherwise.
+func (ix *BoxIndex) InCount(y int32) (n int, ok bool) {
+	if ix.srcFen == nil {
+		return 0, false
+	}
+	return ix.srcFen.Count(ix.dst[y]), true
+}
+
+// InDegrees returns, for every box y, its predecessor count |{x : src(x) ≤
+// dst(y) componentwise}| — y itself included when it satisfies the relation;
+// callers whose predicate excludes self subtract it. The query pass fans out
+// across workers (0 or 1 = serial) with no merge step, so the result is
+// identical for any worker count: the Fenwick path when the grid fits the
+// limit, the per-dimension bucket prefix scan beyond it.
+func (ix *BoxIndex) InDegrees(workers int) []int32 {
+	out := make([]int32, len(ix.src))
+	if len(ix.src) == 0 {
+		return out
+	}
+	ix.EnableInCounts()
+	if ix.srcFen != nil {
+		par.For(len(ix.dst), workers, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				out[y] = int32(ix.srcFen.Count(ix.dst[y]))
+			}
+		})
+		return out
+	}
+	ix.ensureSrcBuckets()
+	par.For(len(ix.dst), workers, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			q := ix.dst[y]
+			best, bestN := -1, int32(0)
+			for i, v := range q {
+				n := ix.preSrc[i][v+1]
+				if best < 0 || n < bestN {
+					best, bestN = i, n
+				}
+			}
+			if bestN == 0 {
+				continue
+			}
+			n := int32(0)
+			for v := 0; v <= q[best]; v++ {
+				for _, x := range ix.bySrc[best][v] {
+					if ix.leqSrcDst(x, int32(y)) {
+						n++
+					}
+				}
+			}
+			out[y] = n
+		}
+	})
+	return out
+}

@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// randCorners generates n random (src, dst) corner pairs on a random grid
+// shape: dst within [0, k), src within [0, k] (the sched layer's +1 shift
+// can land on the top boundary).
+func randCorners(rng *rand.Rand, n, d, kMax int) (src, dst [][]int, k []int) {
+	k = make([]int, d)
+	for i := range k {
+		k[i] = 2 + rng.IntN(kMax-1)
+	}
+	src = make([][]int, n)
+	dst = make([][]int, n)
+	for id := 0; id < n; id++ {
+		s := make([]int, d)
+		t := make([]int, d)
+		for i := range s {
+			s[i] = rng.IntN(k[i] + 1)
+			t[i] = rng.IntN(k[i])
+		}
+		src[id], dst[id] = s, t
+	}
+	return src, dst, k
+}
+
+// bruteEdge is the index's relation, evaluated directly.
+func bruteEdge(src, dst [][]int, x, y int) bool { return LeqAll(src[x], dst[y]) }
+
+// TestBoxIndexMatchesBruteForce is the index's differential property test:
+// randomized corner sets across the operating modes — exact packed keys,
+// the coarse-key prefilter (a dimension wider than 128 values), the slice
+// compare (d > 8), and the Fenwick vs bucket-scan counting paths — against
+// the all-pairs evaluation of the relation.
+func TestBoxIndexMatchesBruteForce(t *testing.T) {
+	modes := []struct {
+		name     string
+		d, kMax  int
+		fenLimit int
+	}{
+		{"packed/fenwick", 3, 16, BoxIndexFenLimit},
+		{"packed/d=5", 5, 8, BoxIndexFenLimit},
+		{"coarse/k=300", 2, 300, BoxIndexFenLimit},
+		{"coarse/fallback", 2, 300, 8},
+		{"slice/d=9", 9, 4, BoxIndexFenLimit},
+		{"fenwick-fallback", 3, 16, 1},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(m.d)*131+uint64(m.kMax), uint64(m.fenLimit)))
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.IntN(90)
+				workers := rng.IntN(3) * 2 // 0, 2, 4 — counts must not depend on it
+				src, dst, k := randCorners(rng, n, m.d, m.kMax)
+				label := fmt.Sprintf("trial %d (n=%d k=%v w=%d)", trial, n, k, workers)
+				t.Run(label, func(t *testing.T) {
+					checkBoxIndex(t, rng, src, dst, k, m.fenLimit, workers)
+				})
+			}
+		})
+	}
+}
+
+func checkBoxIndex(t *testing.T, rng *rand.Rand, src, dst [][]int, k []int, fenLimit, workers int) {
+	t.Helper()
+	n := len(src)
+	ix := NewBoxIndex(src, dst, k, fenLimit)
+
+	// Bulk predecessor counts, self included.
+	inDeg := ix.InDegrees(workers)
+	for y := 0; y < n; y++ {
+		want := int32(0)
+		for x := 0; x < n; x++ {
+			if bruteEdge(src, dst, x, y) {
+				want++
+			}
+		}
+		if inDeg[y] != want {
+			t.Fatalf("InDegrees[%d] = %d, want %d", y, inDeg[y], want)
+		}
+		if c, ok := ix.InCount(int32(y)); ok && int32(c) != want {
+			t.Fatalf("InCount(%d) = %d, want %d", y, c, want)
+		}
+	}
+
+	collectOut := func(x int) []int32 {
+		var got []int32
+		ix.EachOut(int32(x), func(y int32) { got = append(got, y) })
+		slices.Sort(got)
+		return got
+	}
+	collectIn := func(y int) []int32 {
+		var got []int32
+		ix.EachIn(int32(y), func(x int32) bool { got = append(got, x); return true })
+		slices.Sort(got)
+		return got
+	}
+	bruteOut := func(x int, live []bool) []int32 {
+		var want []int32
+		for y := 0; y < n; y++ {
+			if live[y] && bruteEdge(src, dst, x, y) {
+				want = append(want, int32(y))
+			}
+		}
+		return want
+	}
+
+	allLive := make([]bool, n)
+	for i := range allLive {
+		allLive[i] = true
+	}
+	for x := 0; x < n; x++ {
+		if got, want := collectOut(x), bruteOut(x, allLive); !slices.Equal(got, want) {
+			t.Fatalf("EachOut(%d) = %v, want %v", x, got, want)
+		}
+	}
+	for y := 0; y < n; y++ {
+		var want []int32
+		for x := 0; x < n; x++ {
+			if bruteEdge(src, dst, x, y) {
+				want = append(want, int32(x))
+			}
+		}
+		if got := collectIn(y); !slices.Equal(got, want) {
+			t.Fatalf("EachIn(%d) = %v, want %v", y, got, want)
+		}
+	}
+
+	// Retire half the boxes: EachOut must stop enumerating them, while the
+	// predecessor side (EachIn) keeps counting them. Double-retire is a
+	// no-op.
+	live := slices.Clone(allLive)
+	for id := 0; id < n; id++ {
+		if rng.IntN(2) == 0 {
+			live[id] = false
+			ix.Retire(int32(id))
+			ix.Retire(int32(id))
+		}
+	}
+	for x := 0; x < n; x++ {
+		if got, want := collectOut(x), bruteOut(x, live); !slices.Equal(got, want) {
+			t.Fatalf("EachOut(%d) after retire = %v, want %v", x, got, want)
+		}
+	}
+	for y := 0; y < n; y++ {
+		var want []int32
+		for x := 0; x < n; x++ {
+			if bruteEdge(src, dst, x, y) {
+				want = append(want, int32(x))
+			}
+		}
+		if got := collectIn(y); !slices.Equal(got, want) {
+			t.Fatalf("EachIn(%d) after retire = %v, want %v (retire must not shrink the predecessor side)", y, got, want)
+		}
+	}
+}
+
+// TestBoxIndexEarlyExit pins EachIn's contract: a false return stops the
+// enumeration and reports it.
+func TestBoxIndexEarlyExit(t *testing.T) {
+	src := [][]int{{0}, {0}, {0}}
+	dst := [][]int{{2}, {2}, {2}}
+	ix := NewBoxIndex(src, dst, []int{3}, 0)
+	seen := 0
+	if complete := ix.EachIn(0, func(int32) bool { seen++; return false }); complete {
+		t.Fatal("early-exited enumeration reported complete")
+	}
+	if seen != 1 {
+		t.Fatalf("enumeration continued past the stop: %d callbacks", seen)
+	}
+	if !ix.EachIn(0, func(int32) bool { return true }) {
+		t.Fatal("complete enumeration reported stopped")
+	}
+}

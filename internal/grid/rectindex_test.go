@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// randRects draws n random rects. A small value pool forces corner ties and
+// exact-equality cases (including duplicate and degenerate point rects) —
+// the regime where the ≤-everywhere/<-somewhere strictness split matters; a
+// zero pool draws continuous corners, driving the per-dimension rank counts
+// toward 2n and the index into its coarse-key mode.
+func randRects(rng *rand.Rand, n, d, pool int) []Rect {
+	draw := func() float64 {
+		if pool > 0 {
+			return float64(rng.IntN(pool))
+		}
+		return rng.Float64()
+	}
+	rects := make([]Rect, n)
+	for i := range rects {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, b := draw(), draw()
+			if b < a {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		rects[i] = Rect{Lower: lo, Upper: hi}
+	}
+	return rects
+}
+
+// bruteDominated is the pruning predicate evaluated directly: some OTHER
+// rect dominates y.
+func bruteDominated(rects []Rect, y int) bool {
+	for x := range rects {
+		if x != y && rects[x].DominatesRect(rects[y]) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRectIndexMatchesOracle is the pruning property test: randomized rect
+// sets through the box-index sweep vs the retained O(n²) oracle, across the
+// index's operating modes — exact packed ranks (small value pools), coarse
+// keys (continuous corners exceeding 128 ranks per dimension), the slice
+// compare (d > 9), and the Fenwick vs enumeration sides of AnyDominator —
+// demanding identical kept/pruned sets everywhere.
+func TestRectIndexMatchesOracle(t *testing.T) {
+	modes := []struct {
+		name     string
+		d, pool  int
+		fenLimit int
+	}{
+		{"packed/ties", 3, 6, BoxIndexFenLimit},
+		{"packed/fenwick", 2, 12, BoxIndexFenLimit},
+		{"packed/fen-fallback", 2, 12, 1},
+		{"coarse/continuous", 3, 0, BoxIndexFenLimit},
+		{"coarse/d=2", 2, 0, BoxIndexFenLimit},
+		{"slice/d=9", 9, 4, BoxIndexFenLimit},
+		{"d=1", 1, 8, BoxIndexFenLimit},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(m.d)*977+uint64(m.pool), uint64(m.fenLimit)*3))
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.IntN(150)
+				workers := rng.IntN(3) * 2
+				rects := randRects(rng, n, m.d, m.pool)
+				t.Run(fmt.Sprintf("trial %d (n=%d w=%d)", trial, n, workers), func(t *testing.T) {
+					checkRectIndex(t, rects, m.fenLimit, workers)
+				})
+			}
+		})
+	}
+}
+
+func checkRectIndex(t *testing.T, rects []Rect, fenLimit, workers int) {
+	t.Helper()
+	n := len(rects)
+
+	// The sweep and the all-pairs oracle must mark the identical set.
+	got := DominatedRects(rects)
+	want := DominatedRectsQuadratic(rects, workers)
+	if !slices.Equal(got, want) {
+		t.Fatalf("dominated sets diverge:\nindex  %v\noracle %v", got, want)
+	}
+
+	// Per-rect queries on a fresh (unretired) index.
+	ix := NewRectIndex(rects, fenLimit)
+	for y := 0; y < n; y++ {
+		if g, w := ix.AnyDominator(int32(y)), bruteDominated(rects, y); g != w {
+			t.Fatalf("AnyDominator(%d) = %v, oracle %v (rect %v)", y, g, w, rects[y])
+		}
+	}
+	for x := 0; x < n; x++ {
+		var gotDom []int32
+		ix.EachDominated(int32(x), func(y int32) { gotDom = append(gotDom, y) })
+		slices.Sort(gotDom)
+		var wantDom []int32
+		for y := 0; y < n; y++ {
+			if x != y && rects[x].DominatesRect(rects[y]) {
+				wantDom = append(wantDom, int32(y))
+			}
+		}
+		if !slices.Equal(gotDom, wantDom) {
+			t.Fatalf("EachDominated(%d) = %v, oracle %v", x, gotDom, wantDom)
+		}
+	}
+
+	// Retirement removes a rect from the victim side only: dominators keep
+	// dominating.
+	for y := 0; y < n; y += 2 {
+		ix.Retire(int32(y))
+	}
+	for x := 0; x < n; x++ {
+		var gotDom []int32
+		ix.EachDominated(int32(x), func(y int32) { gotDom = append(gotDom, y) })
+		slices.Sort(gotDom)
+		var wantDom []int32
+		for y := 1; y < n; y += 2 {
+			if x != y && rects[x].DominatesRect(rects[y]) {
+				wantDom = append(wantDom, int32(y))
+			}
+		}
+		if !slices.Equal(gotDom, wantDom) {
+			t.Fatalf("EachDominated(%d) after retire = %v, want %v", x, gotDom, wantDom)
+		}
+	}
+	for y := 0; y < n; y++ {
+		if g, w := ix.AnyDominator(int32(y)), bruteDominated(rects, y); g != w {
+			t.Fatalf("AnyDominator(%d) after retire = %v, oracle %v (retire must not weaken dominators)", y, g, w)
+		}
+	}
+}
+
+// TestRectIndexStrictness pins the domination boundary cases the rank
+// discretization must preserve exactly: equal corners everywhere are not
+// domination, equality in all but one dimension is.
+func TestRectIndexStrictness(t *testing.T) {
+	rects := []Rect{
+		{Lower: []float64{1, 1}, Upper: []float64{1, 1}}, // point rect
+		{Lower: []float64{1, 1}, Upper: []float64{1, 1}}, // its duplicate
+		{Lower: []float64{1, 2}, Upper: []float64{2, 3}}, // dominated by 0 and 1 (tie in dim 0, strict in dim 1)
+		{Lower: []float64{1, 1}, Upper: []float64{2, 2}}, // UPPER ties 0's LOWER... but LOWER too: no strict dim
+	}
+	want := []bool{false, false, true, false}
+	if got := DominatedRects(rects); !slices.Equal(got, want) {
+		t.Fatalf("DominatedRects = %v, want %v", got, want)
+	}
+	if got := DominatedRectsQuadratic(rects, 0); !slices.Equal(got, want) {
+		t.Fatalf("oracle = %v, want %v (fixture wrong)", got, want)
+	}
+	ix := NewRectIndex(rects, 0)
+	if ix.AnyDominator(0) || ix.AnyDominator(1) {
+		t.Fatal("identical point rects must not dominate each other")
+	}
+	if !ix.AnyDominator(2) {
+		t.Fatal("strict-in-one-dimension domination missed")
+	}
+}

@@ -6,11 +6,12 @@ import (
 	"progxe/internal/smj"
 )
 
-// NewEngine constructs the engine registered under name with default
-// options — the service-side view of the shared internal/engines registry
-// (the progxe CLI resolves -engine through the same table).
-func NewEngine(name string) (smj.Engine, error) {
-	return engines.New(name, core.Options{})
+// NewEngine constructs the engine registered under name with the given
+// per-request options — the service-side view of the shared
+// internal/engines registry (the progxe CLI resolves -engine through the
+// same table). Baselines ignore the options.
+func NewEngine(name string, opts core.Options) (smj.Engine, error) {
+	return engines.New(name, opts)
 }
 
 // EngineNames returns the engine names accepted by the query endpoint.

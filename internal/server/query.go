@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"progxe/internal/core"
 	"progxe/internal/query"
 	"progxe/internal/smj"
 )
@@ -37,6 +38,10 @@ type QueryRequest struct {
 	// knob trades CPU for latency, never determinism. 0 (the default)
 	// runs serial.
 	Workers int `json:"workers,omitempty"`
+	// Ranker selects the progressive scheduler's benefit model (ProgXe
+	// engines only): "benefit-cost" (the default, Equation 8 with exact
+	// ProgCount) or "cardinality" (O(1) refreshes that skip ProgCount).
+	Ranker string `json:"ranker,omitempty"`
 }
 
 // runRecord heads every stream: the resolved engine, output dimensions,
@@ -169,7 +174,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = s.cfg.DefaultEngine
 	}
-	engine, err := s.cfg.NewEngine(engineName)
+	ranker, err := core.ParseRanker(req.Ranker)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	engine, err := s.cfg.NewEngine(engineName, core.Options{Ranker: ranker})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"progxe/internal/core"
 	"progxe/internal/smj"
 )
 
@@ -61,7 +62,7 @@ func readRecord(t *testing.T, br *bufio.Reader) map[string]any {
 func TestNDJSONStreamsBeforeRunCompletes(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
 	defer resp.Body.Close()
@@ -104,7 +105,7 @@ func TestExplicitFormatBeatsAcceptHeader(t *testing.T) {
 	g := newGatedEngine()
 	close(g.proceed)
 	_, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	b, _ := json.Marshal(QueryRequest{Query: tinyQuery, Format: "ndjson"})
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(string(b)))
@@ -128,7 +129,7 @@ func TestSSEStreaming(t *testing.T) {
 	g := newGatedEngine()
 	close(g.proceed) // run straight through
 	_, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, Format: "sse"})
 	defer resp.Body.Close()
@@ -182,7 +183,7 @@ func TestSSEStreaming(t *testing.T) {
 func TestClientDisconnectCancelsRun(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
 	br := bufio.NewReader(resp.Body)
@@ -204,7 +205,7 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 func TestCancelRunsAbortsInFlightStreams(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery})
 	defer resp.Body.Close()
@@ -251,7 +252,7 @@ func (spinEngine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink)
 func TestStalledClientCancelsRun(t *testing.T) {
 	srv, ts := newTestServer(t, Config{
 		WriteStallTimeout: 200 * time.Millisecond,
-		NewEngine:         func(string) (smj.Engine, error) { return spinEngine{}, nil },
+		NewEngine:         func(string, core.Options) (smj.Engine, error) { return spinEngine{}, nil },
 	})
 	body, _ := json.Marshal(QueryRequest{Query: tinyQuery})
 	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
@@ -277,7 +278,7 @@ func TestStalledClientCancelsRun(t *testing.T) {
 func TestQueryLimitTruncatesRun(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, Limit: 1})
 	defer resp.Body.Close()

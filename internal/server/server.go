@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"time"
 
+	"progxe/internal/core"
 	"progxe/internal/datagen"
 	"progxe/internal/relation"
 	"progxe/internal/smj"
@@ -98,7 +99,7 @@ type Config struct {
 	DefaultEngine string
 	// NewEngine overrides engine construction — a seam for tests to inject
 	// slow or failing engines. Default NewEngine.
-	NewEngine func(name string) (smj.Engine, error)
+	NewEngine func(name string, opts core.Options) (smj.Engine, error)
 }
 
 func (c Config) withDefaults() Config {

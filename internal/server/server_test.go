@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"progxe/internal/core"
 	"progxe/internal/relation"
 	"progxe/internal/smj"
 )
@@ -238,7 +239,7 @@ func TestAdmissionControl(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
 		MaxConcurrentRuns: 1,
-		NewEngine:         func(string) (smj.Engine, error) { return g, nil },
+		NewEngine:         func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 
 	var wg sync.WaitGroup
@@ -338,7 +339,7 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 func TestRunTimeout(t *testing.T) {
 	g := newGatedEngine()
 	srv, ts := newTestServer(t, Config{
-		NewEngine: func(string) (smj.Engine, error) { return g, nil },
+		NewEngine: func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, TimeoutMillis: 50})
 	defer resp.Body.Close()
@@ -447,7 +448,7 @@ func TestRunTimeoutOverflowClamped(t *testing.T) {
 	g := newGatedEngine()
 	_, ts := newTestServer(t, Config{
 		RunTimeout: 50 * time.Millisecond,
-		NewEngine:  func(string) (smj.Engine, error) { return g, nil },
+		NewEngine:  func(string, core.Options) (smj.Engine, error) { return g, nil },
 	})
 	resp := postQuery(t, ts, QueryRequest{Query: tinyQuery, TimeoutMillis: 1 << 62})
 	defer resp.Body.Close()

@@ -121,6 +121,15 @@ const (
 	OrderCardinality = core.OrderCardinality
 )
 
+// RankerKind selects the benefit model behind ProgOrder's ranks.
+type RankerKind = core.RankerKind
+
+// Progressive-scheduler rankers (see core.RankerKind).
+const (
+	RankBenefitCost = core.RankBenefitCost
+	RankCardinality = core.RankCardinality
+)
+
 // Partitioning selects the input space-partitioning structure.
 type Partitioning = core.Partitioning
 
