@@ -49,6 +49,7 @@ func run(args []string) error {
 		maxRegress = fs.Float64("max-regress", 0.2, "regression tolerance for -baseline (0.2 = fail beyond +20%)")
 		repeat     = fs.Int("repeat", 1, "run each cell this many times and keep the fastest (use ≥3 when gating with -baseline)")
 		summary    = fs.String("summary", "", "append a markdown digest (environment + w=N speedup table) to this file — point it at $GITHUB_STEP_SUMMARY in CI")
+		obsGate    = fs.Float64("obs-gate", 0, "run Fig 11f with observability fully on and fully off (interleaved, best of -repeat) and fail if on exceeds off by more than this fraction (e.g. 0.02 = 2%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +126,19 @@ func run(args []string) error {
 	if *baseline != "" {
 		if err := compareBaseline(*baseline, &report, *maxRegress); err != nil {
 			return err
+		}
+	}
+	if *obsGate > 0 {
+		on, off, err := bench.ObsOverhead("11f", *repeat)
+		if err != nil {
+			return err
+		}
+		overhead := on/off - 1
+		fmt.Printf("\n# observability overhead gate (Fig 11f, best of %d)\n", *repeat)
+		fmt.Printf("obs off %.1fms, obs on %.1fms, overhead %+.2f%% (tolerance +%.0f%%)\n",
+			off, on, overhead*100, *obsGate*100)
+		if overhead > *obsGate {
+			return fmt.Errorf("observability overhead %+.2f%% exceeds +%.0f%%", overhead*100, *obsGate*100)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "\n%d figure(s) in %v (scale %.2g)\n",

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -58,6 +59,9 @@ func run(args []string, ready chan<- string) error {
 		defEngine  = fs.String("engine", "", "default engine for queries that name none (default progxe)")
 		demo       = fs.Bool("demo", false, "preload a demo workload: anti-correlated pair R, T (1000 rows, 3 dims)")
 		pprofAddr  = fs.String("pprof", os.Getenv("PROGXE_PPROF"), "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		logFormat  = fs.String("log-format", "text", "structured run-log format: text or json")
+		slowRun    = fs.Duration("slow-run", 0, "log runs slower than this at WARN level (0 = disabled)")
+		runLogSize = fs.Int("run-log", 0, "recent runs retained for /v1/runs (0 = default 128, negative = disabled)")
 		loads      []string
 	)
 	fs.Func("load", "preload a relation from CSV as name=path (repeatable)", func(v string) error {
@@ -68,6 +72,17 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-log-format wants text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
+
 	srv := server.New(server.Config{
 		MaxConcurrentRuns: *maxRuns,
 		RunTimeout:        *runTimeout,
@@ -75,6 +90,9 @@ func run(args []string, ready chan<- string) error {
 		MaxUploadBytes:    *maxUpload,
 		MaxRunWorkers:     *maxWorkers,
 		DefaultEngine:     *defEngine,
+		Logger:            logger,
+		SlowRunThreshold:  *slowRun,
+		RunLogSize:        *runLogSize,
 	})
 
 	if *demo {
@@ -169,7 +187,20 @@ func run(args []string, ready chan<- string) error {
 	if err := hs.Serve(ln); err != http.ErrServerClosed {
 		return err
 	}
-	return <-idle
+	err = <-idle
+
+	// Final counters snapshot on the way out, so a scrape gap at shutdown
+	// never loses the run totals.
+	st := srv.Stats()
+	logger.Info("shutdown",
+		"runsStarted", st.RunsStarted,
+		"runsCompleted", st.RunsCompleted,
+		"runsCanceled", st.RunsCanceled,
+		"runsFailed", st.RunsFailed,
+		"resultsStreamed", st.ResultsStreamed,
+		"runsRejected", st.RunsRejected,
+	)
+	return err
 }
 
 func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

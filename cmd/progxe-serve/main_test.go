@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -145,9 +146,51 @@ func TestServePprofEndpoint(t *testing.T) {
 	}
 }
 
+// TestServeObservabilityFlags boots with the observability knobs set and
+// checks that a run lands in /v1/runs with a trace.
+func TestServeObservabilityFlags(t *testing.T) {
+	base := startServe(t, "-demo", "-log-format", "json", "-slow-run", "1ns", "-run-log", "4")
+	q := `{"query":"SELECT (R.a0+T.a0) AS x, (R.a1+T.a1) AS y FROM R R, T T WHERE R.jkey = T.jkey PREFERRING LOWEST(x) AND LOWEST(y)","trace":true}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	rresp, err := http.Get(base + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var runs struct {
+		Runs []struct {
+			ID       string `json:"id"`
+			HasTrace bool   `json:"hasTrace"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs.Runs) != 1 || !runs.Runs[0].HasTrace {
+		t.Fatalf("/v1/runs = %+v", runs.Runs)
+	}
+	tresp, err := http.Get(base + "/v1/runs/" + runs.Runs[0].ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", tresp.StatusCode)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-load", "nopath"}, nil); err == nil {
 		t.Fatal("-load without name=path must error")
+	}
+	if err := run([]string{"-log-format", "xml"}, nil); err == nil {
+		t.Fatal("-log-format xml must error")
 	}
 	if err := run([]string{"-load", "X=/does/not/exist.csv"}, nil); err == nil {
 		t.Fatal("-load with a missing file must error")

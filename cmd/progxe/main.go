@@ -27,6 +27,7 @@ import (
 	"progxe"
 	"progxe/internal/core"
 	"progxe/internal/engines"
+	"progxe/internal/obs"
 	"progxe/internal/query"
 	"progxe/internal/relation"
 )
@@ -54,6 +55,7 @@ func run(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress per-result output (timing only)")
 		explain   = fs.Bool("explain", false, "print the look-ahead plan and exit without executing")
 		trace     = fs.Bool("trace", false, "print engine trace events to stderr (ProgXe engines only)")
+		traceOut  = fs.String("trace-out", "", "write a Chrome-trace JSON document of the run to this file (view at ui.perfetto.dev)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,15 +106,29 @@ func run(args []string) error {
 		return err
 	}
 
-	e, err := pickEngine(*engine, *inCells, *outCells, *workers, rk, *trace)
+	// Observability: the profiler is free on the hot path, so it is on
+	// whenever something consumes it (-stats phase breakdown, -trace-out).
+	var prof *obs.Profiler
+	var tracer *core.TraceRecorder
+	if *stats || *traceOut != "" {
+		prof = obs.NewProfiler()
+	}
+	if *traceOut != "" {
+		prof.EnableSpans()
+		tracer = core.NewTraceRecorder(prof.Epoch())
+	}
+
+	e, err := pickEngine(*engine, *inCells, *outCells, *workers, rk, *trace, prof, tracer)
 	if err != nil {
 		return err
 	}
 
 	names := p.Maps.Names()
 	start := time.Now()
+	timeline := obs.NewTimeline(start)
 	count := 0
 	sink := progxe.SinkFunc(func(r progxe.Result) {
+		timeline.Observe()
 		count++
 		if *quiet {
 			return
@@ -137,6 +153,27 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "regions:             %d (pruned %d, dropped %d)\n", st.Regions, st.RegionsPruned, st.RegionsDropped)
 		fmt.Fprintf(os.Stderr, "cells marked:        %d\n", st.CellsMarked)
 		fmt.Fprintf(os.Stderr, "push-through pruned: %d\n", st.PushPruned)
+		if q := timeline.Quantiles(); q.Count > 0 {
+			fmt.Fprintf(os.Stderr, "progressiveness:     first=%.3fms p10=%.3fms p50=%.3fms p90=%.3fms last=%.3fms\n",
+				q.FirstMillis, q.P10Millis, q.P50Millis, q.P90Millis, q.LastMillis)
+		}
+		if rep := prof.Report(); len(rep.Phases) > 0 {
+			fmt.Fprintf(os.Stderr, "phases:              %s\n", rep)
+			if rep.WorkerMillis > 0 {
+				fmt.Fprintf(os.Stderr, "serial commit:       %.1f%% of sequencer time\n", rep.SerialCommitFraction*100)
+			}
+		}
+	}
+	if *traceOut != "" {
+		spans, instants := tracer.Spans()
+		doc, err := obs.TraceJSON(append(prof.Spans(), spans...), instants)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open at ui.perfetto.dev)\n", *traceOut)
 	}
 	return nil
 }
@@ -151,10 +188,18 @@ func loadCSV(path string) (*relation.Relation, error) {
 	return relation.ReadCSV(name, f)
 }
 
-func pickEngine(name string, inCells, outCells, workers int, ranker core.RankerKind, trace bool) (progxe.Engine, error) {
-	opts := progxe.Options{InputCells: inCells, OutputCells: outCells, Workers: workers, Ranker: ranker}
-	if trace {
+func pickEngine(name string, inCells, outCells, workers int, ranker core.RankerKind, trace bool, prof *obs.Profiler, tracer *core.TraceRecorder) (progxe.Engine, error) {
+	opts := progxe.Options{InputCells: inCells, OutputCells: outCells, Workers: workers, Ranker: ranker, Profiler: prof}
+	switch {
+	case trace && tracer != nil:
+		opts.Trace = func(e core.Event) {
+			tracer.Observe(e)
+			fmt.Fprintln(os.Stderr, "trace:", e)
+		}
+	case trace:
 		opts.Trace = func(e core.Event) { fmt.Fprintln(os.Stderr, "trace:", e) }
+	case tracer != nil:
+		opts.Trace = tracer.Observe
 	}
 	return engines.New(name, opts)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -62,6 +63,39 @@ func TestRunTraceAndStats(t *testing.T) {
 	rp, sp := writeData(t)
 	if err := run([]string{"-left", rp, "-right", sp, "-quiet", "-trace", "-stats", "-query", testQuery}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceOut pins the CLI trace-export path: -trace-out must produce a
+// Chrome-trace JSON array with spans on both the profiler's phase tracks and
+// the recorder's region track.
+func TestRunTraceOut(t *testing.T) {
+	rp, sp := writeData(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-left", rp, "-right", sp, "-quiet", "-workers", "2", "-trace-out", out, "-query", testQuery}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	tracks := map[string]bool{}
+	spans := 0
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			args := ev["args"].(map[string]any)
+			tracks[args["name"].(string)] = true
+		}
+		if ev["ph"] == "X" {
+			spans++
+		}
+	}
+	if !tracks["sequencer"] || !tracks["regions"] || spans == 0 {
+		t.Fatalf("trace tracks %v with %d spans", tracks, spans)
 	}
 }
 

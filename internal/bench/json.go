@@ -15,17 +15,27 @@ import (
 // trajectory comparisons only ever match serial against serial and w=n
 // against w=n.
 type JSONRun struct {
-	Engine         string  `json:"engine"`
-	N              int     `json:"n"`
-	Dims           int     `json:"dims"`
-	Dist           string  `json:"dist"`
-	Sigma          float64 `json:"sigma"`
-	Workers        int     `json:"workers,omitempty"`
-	TotalMS        float64 `json:"total_ms"`
-	FirstMS        float64 `json:"first_ms"`
-	Results        int     `json:"results"`
-	DomComparisons int     `json:"dom_comparisons"`
-	JoinResults    int     `json:"join_results"`
+	Engine  string  `json:"engine"`
+	N       int     `json:"n"`
+	Dims    int     `json:"dims"`
+	Dist    string  `json:"dist"`
+	Sigma   float64 `json:"sigma"`
+	Workers int     `json:"workers,omitempty"`
+	TotalMS float64 `json:"total_ms"`
+	FirstMS float64 `json:"first_ms"`
+	// TT50MS/TT90MS are the progressiveness milestones: the time by which
+	// 50% / 90% of the final result set had been emitted.
+	TT50MS float64 `json:"tt50_ms,omitempty"`
+	TT90MS float64 `json:"tt90_ms,omitempty"`
+	// Phase attribution from the run's profiler (ProgXe-family engines):
+	// sequencer wall time, aggregated worker time, and the fraction of
+	// sequencer time spent in the serial commit+determine section.
+	SeqMS            float64 `json:"seq_ms,omitempty"`
+	WorkerMS         float64 `json:"worker_ms,omitempty"`
+	SerialCommitFrac float64 `json:"serial_commit_frac,omitempty"`
+	Results          int     `json:"results"`
+	DomComparisons   int     `json:"dom_comparisons"`
+	JoinResults      int     `json:"join_results"`
 	// Regions records the run's output-region count (live + pruned), the
 	// scheduling load of the cell — trajectory comparisons can normalize
 	// by it when workloads are re-scaled.
@@ -71,6 +81,15 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 			Regions:        run.Stats.Regions,
 			SchedEdges:     run.Stats.SchedEdges,
 		}
+		if tt := run.FractionTime(0.5); tt >= 0 {
+			jr.TT50MS = float64(tt) / float64(time.Millisecond)
+		}
+		if tt := run.FractionTime(0.9); tt >= 0 {
+			jr.TT90MS = float64(tt) / float64(time.Millisecond)
+		}
+		jr.SeqMS = run.Phases.SequencerMillis
+		jr.WorkerMS = run.Phases.WorkerMillis
+		jr.SerialCommitFrac = run.Phases.SerialCommitFraction
 		if run.Err != nil {
 			jr.Error = run.Err.Error()
 		}

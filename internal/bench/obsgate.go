@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"progxe/internal/core"
+	"progxe/internal/obs"
+	"progxe/internal/smj"
+)
+
+// ObsOverhead measures the observability tax on one figure's workload: the
+// first ProgXe-family engine of the figure is run with observability fully
+// enabled (profiler with span recording, trace recorder, emission timeline)
+// and fully disabled, interleaved so ambient load hits both arms equally,
+// keeping the best total of each arm over repeats rounds. The returned
+// millisecond totals back the progxe-bench -obs-gate check.
+func ObsOverhead(figID string, repeats int) (onMS, offMS float64, err error) {
+	f, err := FigureByID(figID)
+	if err != nil {
+		return 0, 0, err
+	}
+	var spec EngineSpec
+	for _, s := range f.Engines {
+		if s.opts != nil {
+			spec = s
+			break
+		}
+	}
+	if spec.opts == nil {
+		return 0, 0, fmt.Errorf("bench: figure %s has no ProgXe-family engine to gate", figID)
+	}
+	p, err := f.Workload.Problem()
+	if err != nil {
+		return 0, 0, err
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	// Warm-up round outside the measurement, so neither arm pays the
+	// first-touch cost.
+	RunOnUnobserved(spec, f.Workload, p)
+
+	var bestOff, bestOn time.Duration
+	for i := 0; i < repeats; i++ {
+		off := RunOnUnobserved(spec, f.Workload, p)
+		if off.Err != nil {
+			return 0, 0, off.Err
+		}
+		on := runFullyObserved(spec, f.Workload, p)
+		if on.Err != nil {
+			return 0, 0, on.Err
+		}
+		if i == 0 || off.Total < bestOff {
+			bestOff = off.Total
+		}
+		if i == 0 || on.Total < bestOn {
+			bestOn = on.Total
+		}
+	}
+	return float64(bestOn) / float64(time.Millisecond),
+		float64(bestOff) / float64(time.Millisecond), nil
+}
+
+// runFullyObserved runs the spec with every observability surface on — the
+// heaviest configuration a serve request can ask for.
+func runFullyObserved(spec EngineSpec, w Workload, p *smj.Problem) RunResult {
+	res := RunResult{Engine: spec.Name, Workload: w, Workers: spec.Workers}
+	prof := obs.NewProfiler()
+	prof.EnableSpans()
+	rec := core.NewTraceRecorder(prof.Epoch())
+	o := *spec.opts
+	o.Profiler = prof
+	o.Trace = rec.Observe
+	e := core.New(o)
+
+	start := time.Now()
+	tl := obs.NewTimeline(start)
+	count := 0
+	sink := smj.SinkFunc(func(smj.Result) {
+		tl.Observe()
+		count++
+		el := time.Since(start)
+		if count == 1 {
+			res.First = el
+		}
+		res.Points = append(res.Points, ProgressPoint{Elapsed: el, Count: count})
+	})
+	stats, err := e.Run(p, sink)
+	res.Total = time.Since(start)
+	res.Results = count
+	res.Stats = stats
+	res.Phases = prof.Report()
+	res.Err = err
+	return res
+}

@@ -79,3 +79,48 @@ func TestWriteSummarySpeedupTable(t *testing.T) {
 		t.Fatalf("empty report digest = %q", empty.String())
 	}
 }
+
+// TestWriteSummaryAttribution pins the serial-vs-parallel attribution
+// section: parallel runs carrying profiler numbers publish sequencer time,
+// worker time, and the serial-commit share.
+func TestWriteSummaryAttribution(t *testing.T) {
+	r := &JSONReport{Scale: 1, GoMaxProcs: 4, Figures: []JSONFigure{{
+		Figure: "11f",
+		Runs: []JSONRun{
+			{Engine: "ProgXe", N: 100, Dims: 4, Dist: "anti-correlated", Sigma: 0.1,
+				TotalMS: 80, TT50MS: 30, TT90MS: 60},
+			{Engine: "ProgXe (w=4)", N: 100, Dims: 4, Dist: "anti-correlated", Sigma: 0.1,
+				Workers: 4, TotalMS: 40, TT50MS: 15, TT90MS: 30,
+				SeqMS: 35, WorkerMS: 90, SerialCommitFrac: 0.55},
+		},
+	}}}
+	var sb strings.Builder
+	WriteSummary(&sb, r)
+	out := sb.String()
+	for _, want := range []string{
+		"TT-50% ms (s→p)", "30.0→15.0", "60.0→30.0",
+		"Serial-vs-parallel attribution (w=4, profiler)",
+		"| 35.0 | 90.0 | 55.0% |",
+		"median 55.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObsOverheadGate runs the overhead gate's measurement once on the
+// smallest real figure pairing; it only asserts the harness produces sane
+// numbers, not the 2% bound (that is CI's bench-smoke job, at fixed scale).
+func TestObsOverheadGate(t *testing.T) {
+	on, off, err := ObsOverhead("11f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on <= 0 || off <= 0 {
+		t.Fatalf("gate totals on=%.2fms off=%.2fms", on, off)
+	}
+	if _, _, err := ObsOverhead("nope", 1); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"progxe/internal/core"
+	"progxe/internal/obs"
 	"progxe/internal/smj"
 )
 
@@ -24,7 +26,10 @@ type RunResult struct {
 	Points   []ProgressPoint // cumulative curve, one entry per emission
 	Results  int
 	Stats    smj.Stats
-	Err      error
+	// Phases is the profiler's breakdown with serial-vs-parallel
+	// attribution (ProgXe-family engines; empty for baselines).
+	Phases obs.Report
+	Err    error
 }
 
 // Run executes the engine on the workload's problem, timestamping every
@@ -40,9 +45,31 @@ func Run(spec EngineSpec, w Workload) RunResult {
 }
 
 // RunOn is Run against a pre-built problem (so sweeps can share data).
+// ProgXe-family runs carry the phase profiler (zero-alloc on the hot path;
+// the overhead is gated against the unobserved run by progxe-bench
+// -obs-gate), so every report ships first-party attribution.
 func RunOn(spec EngineSpec, w Workload, p *smj.Problem) RunResult {
+	return runOn(spec, w, p, true)
+}
+
+// RunOnUnobserved is RunOn without the profiler attached — the control arm
+// of the observability overhead gate.
+func RunOnUnobserved(spec EngineSpec, w Workload, p *smj.Problem) RunResult {
+	return runOn(spec, w, p, false)
+}
+
+func runOn(spec EngineSpec, w Workload, p *smj.Problem, observe bool) RunResult {
 	res := RunResult{Engine: spec.Name, Workload: w, Workers: spec.Workers}
-	e := spec.New()
+	var prof *obs.Profiler
+	var e smj.Engine
+	if observe && spec.opts != nil {
+		prof = obs.NewProfiler()
+		o := *spec.opts
+		o.Profiler = prof
+		e = core.New(o)
+	} else {
+		e = spec.New()
+	}
 	start := time.Now()
 	count := 0
 	sink := smj.SinkFunc(func(smj.Result) {
@@ -57,6 +84,7 @@ func RunOn(spec EngineSpec, w Workload, p *smj.Problem) RunResult {
 	res.Total = time.Since(start)
 	res.Results = count
 	res.Stats = stats
+	res.Phases = prof.Report()
 	res.Err = err
 	return res
 }
@@ -123,10 +151,11 @@ func (r RunResult) Summary() string {
 	if r.Results == 0 {
 		return fmt.Sprintf("%-20s no results (total %v)", r.Engine, r.Total.Round(time.Microsecond))
 	}
-	return fmt.Sprintf("%-20s first=%-10v 50%%=%-10v 100%%=%-10v total=%-10v results=%d",
+	return fmt.Sprintf("%-20s first=%-10v 50%%=%-10v 90%%=%-10v 100%%=%-10v total=%-10v results=%d",
 		r.Engine,
 		r.First.Round(time.Microsecond),
 		r.FractionTime(0.5).Round(time.Microsecond),
+		r.FractionTime(0.9).Round(time.Microsecond),
 		r.FractionTime(1.0).Round(time.Microsecond),
 		r.Total.Round(time.Microsecond),
 		r.Results)

@@ -25,9 +25,12 @@ func WriteSummary(w io.Writer, r *JSONReport) {
 	fmt.Fprintf(w, "## progxe-bench results (scale %.2g, GOMAXPROCS %d)\n\n", scale, procs)
 
 	type cell struct {
-		figure, engine, workload string
-		serialMS, parallelMS     float64
-		workers                  int
+		figure, engine, workload   string
+		serialMS, parallelMS       float64
+		serialTT50, parallelTT50   float64
+		serialTT90, parallelTT90   float64
+		seqMS, workerMS, commitFrc float64 // parallel run's phase attribution
+		workers                    int
 	}
 	byKey := map[string]*cell{}
 	var order []string
@@ -50,8 +53,11 @@ func WriteSummary(w io.Writer, r *JSONReport) {
 			}
 			if isParallel {
 				c.parallelMS, c.workers = run.TotalMS, run.Workers
+				c.parallelTT50, c.parallelTT90 = run.TT50MS, run.TT90MS
+				c.seqMS, c.workerMS, c.commitFrc = run.SeqMS, run.WorkerMS, run.SerialCommitFrac
 			} else {
 				c.serialMS = run.TotalMS
+				c.serialTT50, c.serialTT90 = run.TT50MS, run.TT90MS
 			}
 		}
 	}
@@ -71,14 +77,15 @@ func WriteSummary(w io.Writer, r *JSONReport) {
 	}
 
 	fmt.Fprintf(w, "### Multicore speedup (w=%d vs serial)\n\n", workers)
-	fmt.Fprintln(w, "| Figure | Engine | Workload | serial ms | parallel ms | speedup |")
-	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|")
+	fmt.Fprintln(w, "| Figure | Engine | Workload | serial ms | parallel ms | speedup | TT-50% ms (s→p) | TT-90% ms (s→p) |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---:|---:|")
 	speedups := make([]float64, 0, len(rows))
 	for _, c := range rows {
 		s := c.serialMS / c.parallelMS
 		speedups = append(speedups, s)
-		fmt.Fprintf(w, "| %s | %s | %s | %.1f | %.1f | %.2f× |\n",
-			c.figure, c.engine, c.workload, c.serialMS, c.parallelMS, s)
+		fmt.Fprintf(w, "| %s | %s | %s | %.1f | %.1f | %.2f× | %.1f→%.1f | %.1f→%.1f |\n",
+			c.figure, c.engine, c.workload, c.serialMS, c.parallelMS, s,
+			c.serialTT50, c.parallelTT50, c.serialTT90, c.parallelTT90)
 	}
 	sort.Float64s(speedups)
 	median := speedups[len(speedups)/2]
@@ -87,4 +94,30 @@ func WriteSummary(w io.Writer, r *JSONReport) {
 	}
 	fmt.Fprintf(w, "\nmedian %.2f×, best %.2f×, worst %.2f× over %d cells\n",
 		median, speedups[len(speedups)-1], speedups[0], len(speedups))
+
+	// Serial-vs-parallel attribution: the profiler's first-party numbers
+	// for the parallel runs, answering how much of the wall clock is the
+	// sequencer's serial commit+determine section (the parallel-commit
+	// frontier) versus work the pool already offloads.
+	var att []*cell
+	for _, c := range rows {
+		if c.seqMS > 0 {
+			att = append(att, c)
+		}
+	}
+	if len(att) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n### Serial-vs-parallel attribution (w=%d, profiler)\n\n", workers)
+	fmt.Fprintln(w, "| Figure | Engine | Workload | sequencer ms | worker ms | serial commit share |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|")
+	fracs := make([]float64, 0, len(att))
+	for _, c := range att {
+		fracs = append(fracs, c.commitFrc)
+		fmt.Fprintf(w, "| %s | %s | %s | %.1f | %.1f | %.1f%% |\n",
+			c.figure, c.engine, c.workload, c.seqMS, c.workerMS, c.commitFrc*100)
+	}
+	sort.Float64s(fracs)
+	fmt.Fprintf(w, "\nserial commit+determine share of sequencer time: median %.1f%% over %d cells\n",
+		100*fracs[len(fracs)/2], len(fracs))
 }

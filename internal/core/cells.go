@@ -2,6 +2,7 @@ package core
 
 import (
 	"progxe/internal/grid"
+	"progxe/internal/obs"
 	"progxe/internal/preference"
 	"progxe/internal/smj"
 )
@@ -166,6 +167,8 @@ type space struct {
 	emit func(t outTuple)
 	// traceEmit, when non-nil, observes each cell emission (cell, count).
 	traceEmit func(c *cell, n int)
+	// prof receives per-cell emission spans (nil-safe; set by the engine).
+	prof *obs.Profiler
 }
 
 // cellAt returns the covered cell with the given flat index, or nil.
@@ -505,9 +508,14 @@ func (s *space) consider(c *cell) {
 		return
 	}
 	c.emitted = true
+	// One span per emitted cell, not per result: two clock reads amortized
+	// over the cell's whole buffer keep the emit phase observable without
+	// per-tuple overhead.
+	tEmit := s.prof.Clock()
 	for _, t := range c.tuples {
 		s.emit(t)
 	}
+	s.prof.EndSequencer(obs.PhaseEmit, tEmit)
 	s.stats.ResultCount += len(c.tuples)
 	if s.traceEmit != nil {
 		s.traceEmit(c, len(c.tuples))

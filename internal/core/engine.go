@@ -10,6 +10,7 @@ import (
 	"progxe/internal/core/sched"
 	"progxe/internal/join"
 	"progxe/internal/mapping"
+	"progxe/internal/obs"
 	"progxe/internal/preference"
 	"progxe/internal/relation"
 	"progxe/internal/smj"
@@ -132,6 +133,12 @@ type Options struct {
 	// region completion, region discard, and cell emission. Intended for
 	// debugging, demos and tests; adds no cost when nil.
 	Trace func(Event)
+	// Profiler, when non-nil, receives monotonic-clock phase attribution
+	// for the run: setup phases and the sequencer's per-region stages on
+	// the sequencer lane, prefetch/precheck work on worker lanes. Purely
+	// observational — never consulted for decisions — so enabling it
+	// cannot change the result stream. nil costs nothing.
+	Profiler *obs.Profiler
 }
 
 func (o Options) withDefaults() Options {
@@ -221,12 +228,14 @@ var _ smj.ContextEngine = (*Engine)(nil)
 func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
 	cancel := smj.NewCanceler(ctx)
+	prof := e.opts.Profiler
 	cp, d, err := checkProblem(p)
 	if err != nil {
 		return stats, err
 	}
 	left, right := cp.Left, cp.Right
 
+	tPartition := prof.Clock()
 	if e.opts.PushThrough {
 		var prunedL, prunedR int
 		left, prunedL = smj.PushThroughContext(left, cp.Maps, mapping.Left, cancel)
@@ -245,6 +254,7 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	if err != nil {
 		return stats, err
 	}
+	prof.EndSequencer(obs.PhasePartition, tPartition)
 
 	workers := e.opts.Workers
 	if n, ok := smj.ParallelismFrom(ctx); ok {
@@ -255,17 +265,20 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	}
 
 	// Output space look-ahead (§III-A).
-	regions, pruned := buildRegions(lparts, rparts, cp.Maps, workers)
+	regions, pruned := buildRegionsProf(lparts, rparts, cp.Maps, workers, prof)
 	stats.Regions = len(regions) + pruned
 	stats.RegionsPruned = pruned
 	outCells := e.opts.OutputCells
 	if outCells == 0 {
 		outCells = autoOutputCells(d)
 	}
+	tSpace := prof.Clock()
 	s, err := buildSpace(regions, d, outCells, &stats, workers)
 	if err != nil {
 		return stats, err
 	}
+	prof.EndSequencer(obs.PhaseSpaceBuild, tSpace)
+	s.prof = prof
 	// Emission without per-result cloning: canonical preferences hand the
 	// arena-backed survivor vector to the sink directly (survivors of
 	// emitted cells are immutable and never recycled); non-canonical ones
@@ -300,6 +313,7 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	}
 	if workers > 0 && len(regions) > 0 {
 		run.pool = newPool(ctx, workers, s, regions, len(rparts), cp.Maps)
+		run.pool.prof = prof
 		defer run.pool.stop()
 	}
 	if e.opts.Trace != nil {
@@ -347,7 +361,9 @@ func (r *runState) loop() error {
 	}
 	r.mapBuf = make([]float64, r.d)
 	opts := r.engine.opts
+	prof := opts.Profiler
 
+	tSched := prof.Clock()
 	switch opts.Ordering {
 	case OrderRandom:
 		order := make([]int, len(r.regions))
@@ -385,12 +401,15 @@ func (r *runState) loop() error {
 	if r.pool != nil {
 		r.pool.start(r.sched.PrefetchOrder(), len(r.space.cellList))
 	}
+	prof.EndSequencer(obs.PhaseSched, tSched)
 
 	for {
 		if err := r.cancel.Now(); err != nil {
 			return err
 		}
+		tNext := prof.Clock()
 		id, rank, ok := r.sched.Next()
+		prof.EndSequencer(obs.PhaseSched, tNext)
 		if !ok {
 			break
 		}
@@ -467,6 +486,8 @@ func (r *runState) process(reg *region) error {
 	})
 
 	// Progressive result determination (Algorithm 2) over this region.
+	prof := r.engine.opts.Profiler
+	tDetermine := prof.Clock()
 	r.space.regionDone(reg.cells)
 
 	// Algorithm 1, Line 9: discard live regions now dominated by tuples
@@ -491,12 +512,17 @@ func (r *runState) process(reg *region) error {
 
 	// roundNew is consumed; vectors evicted this round can now be recycled.
 	r.space.flushFree()
+	prof.EndSequencer(obs.PhaseDetermine, tDetermine)
 	return nil
 }
 
 // processSerial is the in-line tuple-level processing path: join, map and
-// insert one result at a time on the sequencer goroutine.
+// insert one result at a time on the sequencer goroutine. The whole fused
+// join+map+insert loop reports as commit time — serial runs have no
+// separate prefetch or precheck stages to attribute.
 func (r *runState) processSerial(reg *region) {
+	prof := r.engine.opts.Profiler
+	defer prof.EndSequencer(obs.PhaseCommit, prof.Clock())
 	lt, rt := reg.a.tuples, reg.b.tuples
 	r.stats.JoinResults += join.Hash(lt, rt, func(li, ri int) bool {
 		if r.cancel.Check() != nil {
@@ -526,13 +552,19 @@ func (r *runState) processSerial(reg *region) {
 // earlier in the same round. The protocol outcome per candidate — and
 // therefore the whole observable run — is identical to processSerial.
 func (r *runState) processPooled(reg *region) {
+	prof := r.engine.opts.Profiler
+	tTake := prof.Clock()
 	buf, n := r.pool.take(reg, r.cancel)
+	prof.EndSequencer(obs.PhasePrefetch, tTake)
 	cands := buf.cands[:n]
 	var rejected []bool
 	if n >= precheckMinCands {
 		rejected = r.pool.rejectedScratch(n)
+		tBarrier := prof.Clock()
 		r.stats.DomComparisons += r.pool.precheck(r.space, cands, rejected)
+		prof.EndSequencer(obs.PhasePrecheck, tBarrier)
 	}
+	tCommit := prof.Clock()
 	for k := range cands {
 		if r.cancel.Check() != nil {
 			break
@@ -558,6 +590,7 @@ func (r *runState) processPooled(reg *region) {
 		}
 	}
 	r.stats.JoinResults += n
+	prof.EndSequencer(obs.PhaseCommit, tCommit)
 	r.pool.finish(reg)
 }
 

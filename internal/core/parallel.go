@@ -8,6 +8,7 @@ import (
 
 	"progxe/internal/grid"
 	"progxe/internal/mapping"
+	"progxe/internal/obs"
 	"progxe/internal/par"
 	"progxe/internal/smj"
 )
@@ -164,6 +165,10 @@ type pool struct {
 	pwg      sync.WaitGroup
 	seqState *precheckState // precheck scratch for the sequencer itself
 	rejected []bool
+
+	// prof attributes worker-side stream construction and precheck scans
+	// to worker lanes (nil-safe; set by the engine before start).
+	prof *obs.Profiler
 }
 
 // newPool sizes the pool for a run over the given regions. It does not
@@ -202,10 +207,12 @@ func newPool(ctx context.Context, workers int, s *space, regions []*region, rpar
 // discarded wastes only the stream construction, never correctness.
 func (p *pool) start(order []int32, cells int) {
 	p.order = order
+	// Profiler lanes: prefetch workers take 1..workers, precheck workers
+	// workers+1..2·workers; lane 0 is the sequencer's.
 	for i := 0; i < p.workers; i++ {
 		p.wg.Add(2)
-		go p.prefetchWorker()
-		go p.precheckWorker(cells)
+		go p.prefetchWorker(1 + i)
+		go p.precheckWorker(1+p.workers+i, cells)
 	}
 }
 
@@ -300,7 +307,7 @@ func (p *pool) claimNext() *regionJob {
 // prefetchWorker materializes candidate streams ahead of the sequencer,
 // bounded by the in-flight budget so memory stays proportional to the
 // worker count rather than the whole join.
-func (p *pool) prefetchWorker() {
+func (p *pool) prefetchWorker(lane int) {
 	defer p.wg.Done()
 	cancel := smj.NewCanceler(p.ctx)
 	for {
@@ -319,7 +326,9 @@ func (p *pool) prefetchWorker() {
 			par.YieldHook()
 		}
 		j.buf = p.getBuf()
+		t0 := p.prof.Clock()
 		j.n = p.mapStream(j.reg, j.buf, cancel)
+		p.prof.EndWorker(obs.PhasePrefetch, lane, t0)
 		j.state.Store(jobDone)
 		close(j.done)
 		if cancel.Now() != nil {
@@ -425,7 +434,9 @@ func (p *pool) precheck(s *space, cands []cand, rejected []bool) int {
 }
 
 // precheckWorker serves phase-1 scan tasks for the duration of the run.
-func (p *pool) precheckWorker(cells int) {
+// Only worker-served tasks report on the worker lane; tasks the sequencer
+// drains itself are already inside its barrier span (no double counting).
+func (p *pool) precheckWorker(lane int, cells int) {
 	defer p.wg.Done()
 	st := newPrecheckState(cells)
 	for {
@@ -433,7 +444,9 @@ func (p *pool) precheckWorker(cells int) {
 		case <-p.quit:
 			return
 		case t := <-p.taskCh:
+			t0 := p.prof.Clock()
 			t.run(st)
+			p.prof.EndWorker(obs.PhasePrecheck, lane, t0)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"progxe/internal/core/sched"
 	"progxe/internal/grid"
 	"progxe/internal/mapping"
+	"progxe/internal/obs"
 	"progxe/internal/par"
 	"progxe/internal/preference"
 	"progxe/internal/skyline"
@@ -99,8 +100,19 @@ func prunedRegions(all []*region, workers int) []bool {
 // The returned regions are live; pruned is the count eliminated before any
 // tuple work. The verdict set is independent of the worker count.
 func buildRegions(left, right []*inputPartition, maps *mapping.Set, workers int) (regions []*region, pruned int) {
+	return buildRegionsProf(left, right, maps, workers, nil)
+}
+
+// buildRegionsProf is buildRegions with phase attribution: pairing reports
+// as region-build, domination pruning as prune. A nil profiler costs
+// nothing beyond two no-op calls.
+func buildRegionsProf(left, right []*inputPartition, maps *mapping.Set, workers int, prof *obs.Profiler) (regions []*region, pruned int) {
+	t0 := prof.Clock()
 	all := pairRegions(left, right, maps)
+	prof.EndSequencer(obs.PhaseRegionBuild, t0)
+	t1 := prof.Clock()
 	dominated := prunedRegions(all, workers)
+	prof.EndSequencer(obs.PhasePrune, t1)
 	for _, d := range dominated {
 		if d {
 			pruned++

@@ -1,0 +1,106 @@
+package obs
+
+import "time"
+
+// maxTimelineSamples bounds the timeline's memory regardless of result-set
+// size. When the buffer fills, the sampling stride doubles and every other
+// retained sample is dropped — a classic decimation scheme that keeps the
+// retained samples evenly spread over the emission sequence.
+const maxTimelineSamples = 4096
+
+// Timeline records the emission-count-vs-time curve of one run: callers
+// Observe the clock at every emitted result, and Quantiles reduces the curve
+// to the paper's progressiveness milestones (time to first / 10% / 50% /
+// 90% / last result). Memory is bounded by decimation; the first and last
+// emissions are always tracked exactly. Not safe for concurrent use — it is
+// meant to live inside a single-goroutine sink, which is where every caller
+// in this repository delivers results.
+type Timeline struct {
+	start   time.Time
+	count   int64 // total observations
+	stride  int64 // keep every stride-th observation
+	samples []sample
+	last    int64 // clock of the most recent observation, nanos
+}
+
+type sample struct {
+	index int64 // 0-based emission index
+	nanos int64 // time since start
+}
+
+// NewTimeline returns a timeline whose clock starts at start. Use the run's
+// own start time so quantiles measure from query admission, matching TTFR.
+func NewTimeline(start time.Time) *Timeline {
+	return &Timeline{start: start, stride: 1}
+}
+
+// Observe records one emitted result at the current clock. Amortized cost is
+// one time.Since call; appends go into a preallocated-capacity buffer except
+// at the (at most ~12) stride doublings.
+func (t *Timeline) Observe() {
+	if t == nil {
+		return
+	}
+	now := int64(time.Since(t.start))
+	idx := t.count
+	t.count++
+	t.last = now
+	if idx%t.stride != 0 {
+		return
+	}
+	if len(t.samples) >= maxTimelineSamples {
+		// Halve the retained samples, double the stride.
+		kept := t.samples[:0]
+		for i, s := range t.samples {
+			if i%2 == 0 {
+				kept = append(kept, s)
+			}
+		}
+		t.samples = kept
+		t.stride *= 2
+		if idx%t.stride != 0 {
+			return
+		}
+	}
+	t.samples = append(t.samples, sample{index: idx, nanos: now})
+}
+
+// Quantiles is the reduced progressiveness curve of one run. All times are
+// milliseconds since the timeline's start; a zero Count means no results
+// were emitted and every time is zero.
+type Quantiles struct {
+	Count       int64   `json:"count"`
+	FirstMillis float64 `json:"firstMillis"`
+	P10Millis   float64 `json:"p10Millis"`
+	P50Millis   float64 `json:"p50Millis"`
+	P90Millis   float64 `json:"p90Millis"`
+	LastMillis  float64 `json:"lastMillis"`
+}
+
+// Quantiles reduces the observed curve. Interior milestones (10/50/90%)
+// come from the decimated samples — worst-case index error is one stride,
+// i.e. count/4096; first and last are exact.
+func (t *Timeline) Quantiles() Quantiles {
+	var q Quantiles
+	if t == nil || t.count == 0 {
+		return q
+	}
+	q.Count = t.count
+	q.FirstMillis = millis(t.samples[0].nanos)
+	q.LastMillis = millis(t.last)
+	q.P10Millis = millis(t.at(t.count / 10))
+	q.P50Millis = millis(t.at(t.count / 2))
+	q.P90Millis = millis(t.at(t.count * 9 / 10))
+	return q
+}
+
+// at returns the clock of the first retained sample at or after emission
+// index i (the last observation if none is).
+func (t *Timeline) at(i int64) int64 {
+	for _, s := range t.samples {
+		if s.index >= i {
+			return s.nanos
+		}
+	}
+	return t.last
+}

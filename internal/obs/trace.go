@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is one complete interval on a named track of the exported trace —
+// a phase interval on the sequencer or a worker lane, or a region's
+// processing window on the regions track.
+type Span struct {
+	Track string         // track (Chrome trace thread) the span renders on
+	Name  string         // span label
+	Start time.Duration  // offset from the trace epoch
+	Dur   time.Duration  // span length
+	Args  map[string]any // optional key/values shown in the viewer
+}
+
+// Instant is a zero-duration marker (an emitted cell, a scheduler event).
+type Instant struct {
+	Track string
+	Name  string
+	Ts    time.Duration
+	Args  map[string]any
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the subset Perfetto and chrome://tracing both load: complete events
+// (ph "X"), instant events (ph "i"), and thread-name metadata (ph "M").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans and instants as a Chrome trace-event JSON
+// array, one track per distinct Track name (stable order: "sequencer" first,
+// then lexicographic), loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span, instants []Instant) error {
+	tracks := map[string]int{}
+	trackID := func(name string) int {
+		if id, ok := tracks[name]; ok {
+			return id
+		}
+		id := len(tracks)
+		tracks[name] = id
+		return id
+	}
+
+	// Assign track ids deterministically: sequencer first, rest sorted.
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Track] = true
+	}
+	for _, i := range instants {
+		names[i.Track] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		if n != "sequencer" {
+			ordered = append(ordered, n)
+		}
+	}
+	sort.Strings(ordered)
+	if names["sequencer"] {
+		ordered = append([]string{"sequencer"}, ordered...)
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(instants)+len(ordered))
+	for _, n := range ordered {
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  trackID(n),
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   micros(s.Start),
+			Dur:  micros(s.Dur),
+			Pid:  1,
+			Tid:  trackID(s.Track),
+			Args: s.Args,
+		})
+	}
+	for _, i := range instants {
+		events = append(events, chromeEvent{
+			Name: i.Name,
+			Ph:   "i",
+			Ts:   micros(i.Ts),
+			Pid:  1,
+			Tid:  trackID(i.Track),
+			S:    "t",
+			Args: i.Args,
+		})
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// TraceJSON renders spans and instants to an in-memory JSON document —
+// the server stores these per run for /v1/runs/{id}/trace.
+func TraceJSON(spans []Span, instants []Instant) ([]byte, error) {
+	var buf writerBuffer
+	if err := WriteChromeTrace(&buf, spans, instants); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

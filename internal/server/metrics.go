@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
+	"progxe/internal/obs"
 	"progxe/internal/smj"
 )
 
@@ -35,10 +37,49 @@ type metrics struct {
 	schedEdges         int64
 	schedRankRefreshes int64
 	fenwickUpdates     int64
+	// progress holds per-engine, per-milestone histograms of the run
+	// progressiveness quantiles (TT-first/10%/50%/90%/last), over the same
+	// bucket bounds as the TTFR histogram.
+	progress map[progressKey]*histogram
+	// phaseSeconds accumulates profiler phase time per (phase, lane).
+	phaseSeconds map[phaseKey]float64
+}
+
+// progressKey labels one progressiveness histogram series.
+type progressKey struct {
+	engine    string
+	milestone string // first | p10 | p50 | p90 | last
+}
+
+// phaseKey labels one phase-time counter series.
+type phaseKey struct {
+	phase string
+	lane  string // sequencer | worker
+}
+
+// histogram is one cumulative-on-read histogram over ttfrBuckets.
+type histogram struct {
+	counts []int64 // len(ttfrBuckets)+1; last is +Inf
+	sum    float64 // seconds
+	n      int64
+}
+
+func (h *histogram) observe(s float64) {
+	i := 0
+	for i < len(ttfrBuckets) && s > ttfrBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += s
+	h.n++
 }
 
 func newMetrics() *metrics {
-	return &metrics{ttfrCounts: make([]int64, len(ttfrBuckets)+1)}
+	return &metrics{
+		ttfrCounts:   make([]int64, len(ttfrBuckets)+1),
+		progress:     make(map[progressKey]*histogram),
+		phaseSeconds: make(map[phaseKey]float64),
+	}
 }
 
 func (m *metrics) runStarted() {
@@ -88,6 +129,52 @@ func (m *metrics) observeEngineStats(st smj.Stats) {
 	m.mu.Unlock()
 }
 
+// observeProgress folds one run's progressiveness quantiles into the
+// per-engine labeled histograms. Runs without results record nothing.
+func (m *metrics) observeProgress(engine string, q obs.Quantiles) {
+	if q.Count == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, ms := range [...]struct {
+		name   string
+		millis float64
+	}{
+		{"first", q.FirstMillis},
+		{"p10", q.P10Millis},
+		{"p50", q.P50Millis},
+		{"p90", q.P90Millis},
+		{"last", q.LastMillis},
+	} {
+		k := progressKey{engine: engine, milestone: ms.name}
+		h := m.progress[k]
+		if h == nil {
+			h = &histogram{counts: make([]int64, len(ttfrBuckets)+1)}
+			m.progress[k] = h
+		}
+		h.observe(ms.millis / 1000)
+	}
+	m.mu.Unlock()
+}
+
+// observePhases folds one run's profiler report into the per-phase time
+// counters, split by lane.
+func (m *metrics) observePhases(rep obs.Report) {
+	if len(rep.Phases) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, ph := range rep.Phases {
+		if ph.SequencerMillis > 0 {
+			m.phaseSeconds[phaseKey{phase: ph.Phase, lane: "sequencer"}] += ph.SequencerMillis / 1000
+		}
+		if ph.WorkerMillis > 0 {
+			m.phaseSeconds[phaseKey{phase: ph.Phase, lane: "worker"}] += ph.WorkerMillis / 1000
+		}
+	}
+	m.mu.Unlock()
+}
+
 // observeTTFR records the time-to-first-result of one run.
 func (m *metrics) observeTTFR(d time.Duration) {
 	s := d.Seconds()
@@ -127,6 +214,27 @@ type Snapshot struct {
 	SchedEdges         int64 `json:"schedEdges"`
 	SchedRankRefreshes int64 `json:"schedRankRefreshes"`
 	FenwickUpdates     int64 `json:"fenwickUpdates"`
+	// Progress summarizes the per-engine progressiveness milestones
+	// (count and summed seconds per series; the full bucket vectors are
+	// exposed on /metrics).
+	Progress []ProgressStat `json:"progress,omitempty"`
+	// PhaseSeconds totals profiler phase time per (phase, lane).
+	PhaseSeconds []PhaseStat `json:"phaseSeconds,omitempty"`
+}
+
+// ProgressStat is one engine × milestone progressiveness series.
+type ProgressStat struct {
+	Engine     string  `json:"engine"`
+	Milestone  string  `json:"milestone"` // first | p10 | p50 | p90 | last
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sumSeconds"`
+}
+
+// PhaseStat is one phase × lane accumulated-time series.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Lane    string  `json:"lane"` // sequencer | worker
+	Seconds float64 `json:"seconds"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -154,7 +262,45 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	cum += m.ttfrCounts[len(ttfrBuckets)]
 	s.TTFR = append(s.TTFR, Bucket{Inf: true, Count: cum})
+	for k, h := range m.progress {
+		s.Progress = append(s.Progress, ProgressStat{
+			Engine: k.engine, Milestone: k.milestone, Count: h.n, SumSeconds: h.sum,
+		})
+	}
+	sort.Slice(s.Progress, func(i, j int) bool {
+		if s.Progress[i].Engine != s.Progress[j].Engine {
+			return s.Progress[i].Engine < s.Progress[j].Engine
+		}
+		return milestoneOrder(s.Progress[i].Milestone) < milestoneOrder(s.Progress[j].Milestone)
+	})
+	for k, sec := range m.phaseSeconds {
+		s.PhaseSeconds = append(s.PhaseSeconds, PhaseStat{Phase: k.phase, Lane: k.lane, Seconds: sec})
+	}
+	sort.Slice(s.PhaseSeconds, func(i, j int) bool {
+		if s.PhaseSeconds[i].Phase != s.PhaseSeconds[j].Phase {
+			return s.PhaseSeconds[i].Phase < s.PhaseSeconds[j].Phase
+		}
+		return s.PhaseSeconds[i].Lane < s.PhaseSeconds[j].Lane
+	})
 	return s
+}
+
+// milestoneOrder sorts milestones along the emission curve.
+func milestoneOrder(m string) int {
+	switch m {
+	case "first":
+		return 0
+	case "p10":
+		return 1
+	case "p50":
+		return 2
+	case "p90":
+		return 3
+	case "last":
+		return 4
+	default:
+		return 5
+	}
 }
 
 // writePrometheus renders the counters in the Prometheus text exposition
@@ -184,4 +330,57 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	}
 	fmt.Fprintf(w, "progxe_ttfr_seconds_sum %g\n", s.TTFRSumSeconds)
 	fmt.Fprintf(w, "progxe_ttfr_seconds_count %d\n", s.TTFRObserved)
+
+	// Per-engine progressiveness milestones and per-phase time need the raw
+	// maps (the snapshot carries only count/sum); copy them under the lock,
+	// then render in deterministic key order.
+	m.mu.Lock()
+	pkeys := make([]progressKey, 0, len(m.progress))
+	hists := make(map[progressKey]histogram, len(m.progress))
+	for k, h := range m.progress {
+		pkeys = append(pkeys, k)
+		c := *h
+		c.counts = append([]int64(nil), h.counts...)
+		hists[k] = c
+	}
+	fkeys := make([]phaseKey, 0, len(m.phaseSeconds))
+	phases := make(map[phaseKey]float64, len(m.phaseSeconds))
+	for k, v := range m.phaseSeconds {
+		fkeys = append(fkeys, k)
+		phases[k] = v
+	}
+	m.mu.Unlock()
+	sort.Slice(pkeys, func(i, j int) bool {
+		if pkeys[i].engine != pkeys[j].engine {
+			return pkeys[i].engine < pkeys[j].engine
+		}
+		return milestoneOrder(pkeys[i].milestone) < milestoneOrder(pkeys[j].milestone)
+	})
+	sort.Slice(fkeys, func(i, j int) bool {
+		if fkeys[i].phase != fkeys[j].phase {
+			return fkeys[i].phase < fkeys[j].phase
+		}
+		return fkeys[i].lane < fkeys[j].lane
+	})
+	if len(pkeys) > 0 {
+		fmt.Fprintf(w, "# HELP progxe_run_progress_seconds Time to progressiveness milestones (first/p10/p50/p90/last emitted result), per engine.\n# TYPE progxe_run_progress_seconds histogram\n")
+		for _, k := range pkeys {
+			h := hists[k]
+			cum := int64(0)
+			for i, le := range ttfrBuckets {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "progxe_run_progress_seconds_bucket{engine=%q,milestone=%q,le=%q} %d\n", k.engine, k.milestone, fmt.Sprintf("%g", le), cum)
+			}
+			cum += h.counts[len(ttfrBuckets)]
+			fmt.Fprintf(w, "progxe_run_progress_seconds_bucket{engine=%q,milestone=%q,le=\"+Inf\"} %d\n", k.engine, k.milestone, cum)
+			fmt.Fprintf(w, "progxe_run_progress_seconds_sum{engine=%q,milestone=%q} %g\n", k.engine, k.milestone, h.sum)
+			fmt.Fprintf(w, "progxe_run_progress_seconds_count{engine=%q,milestone=%q} %d\n", k.engine, k.milestone, h.n)
+		}
+	}
+	if len(fkeys) > 0 {
+		fmt.Fprintf(w, "# HELP progxe_phase_seconds_total Engine phase time attributed by the run profiler.\n# TYPE progxe_phase_seconds_total counter\n")
+		for _, k := range fkeys {
+			fmt.Fprintf(w, "progxe_phase_seconds_total{phase=%q,lane=%q} %g\n", k.phase, k.lane, phases[k])
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"progxe/internal/core"
+	"progxe/internal/obs"
 	"progxe/internal/query"
 	"progxe/internal/smj"
 )
@@ -42,12 +43,18 @@ type QueryRequest struct {
 	// engines only): "benefit-cost" (the default, Equation 8 with exact
 	// ProgCount) or "cardinality" (O(1) refreshes that skip ProgCount).
 	Ranker string `json:"ranker,omitempty"`
+	// Trace records a Chrome-trace document for this run (phase spans,
+	// region spans, emission instants), retrievable afterwards from
+	// GET /v1/runs/{id}/trace and loadable in Perfetto. Off by default:
+	// span retention costs memory proportional to the region count.
+	Trace bool `json:"trace,omitempty"`
 }
 
-// runRecord heads every stream: the resolved engine, output dimensions,
-// and the worker count granted after clamping.
+// runRecord heads every stream: the run's id in the run log, the resolved
+// engine, output dimensions, and the worker count granted after clamping.
 type runRecord struct {
 	Type    string   `json:"type"` // "run"
+	ID      string   `json:"id"`
 	Engine  string   `json:"engine"`
 	Dims    []string `json:"dims"`
 	Workers int      `json:"workers,omitempty"`
@@ -63,17 +70,21 @@ type resultRecord struct {
 	ElapsedMillis float64   `json:"elapsedMillis"`
 }
 
-// statsRecord trails every stream, reporting how the run ended.
+// statsRecord trails every stream, reporting how the run ended, where its
+// time went, and how early its results arrived.
 type statsRecord struct {
-	Type          string    `json:"type"` // "stats"
-	Engine        string    `json:"engine"`
-	Results       int       `json:"results"`
-	ElapsedMillis float64   `json:"elapsedMillis"`
-	TTFRMillis    float64   `json:"ttfrMillis,omitempty"`
-	Canceled      bool      `json:"canceled,omitempty"`
-	Reason        string    `json:"reason,omitempty"` // disconnect | timeout | limit | shutdown
-	Error         string    `json:"error,omitempty"`
-	EngineStats   smj.Stats `json:"engineStats"`
+	Type          string        `json:"type"` // "stats"
+	RunID         string        `json:"runId"`
+	Engine        string        `json:"engine"`
+	Results       int           `json:"results"`
+	ElapsedMillis float64       `json:"elapsedMillis"`
+	TTFRMillis    float64       `json:"ttfrMillis,omitempty"`
+	Canceled      bool          `json:"canceled,omitempty"`
+	Reason        string        `json:"reason,omitempty"` // disconnect | timeout | limit | shutdown
+	Error         string        `json:"error,omitempty"`
+	Progress      obs.Quantiles `json:"progress"`
+	Phases        obs.Report    `json:"phases"`
+	EngineStats   smj.Stats     `json:"engineStats"`
 }
 
 // streamWriter abstracts the two wire formats (NDJSON lines, SSE frames).
@@ -179,7 +190,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	engine, err := s.cfg.NewEngine(engineName, core.Options{Ranker: ranker})
+	// Every run is profiled: the accumulators are a few atomic adds, and the
+	// phase breakdown feeds the run log, the stats trailer, and /metrics.
+	// Span retention and the event recorder are opt-in per request.
+	prof := obs.NewProfiler()
+	var tracer *core.TraceRecorder
+	opts := core.Options{Ranker: ranker, Profiler: prof}
+	if req.Trace {
+		prof.EnableSpans()
+		tracer = core.NewTraceRecorder(prof.Epoch())
+		opts.Trace = tracer.Observe
+	}
+	engine, err := s.cfg.NewEngine(engineName, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -267,13 +289,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		stall:  s.cfg.WriteStallTimeout,
 		onFail: cancelRun,
 	}
+	runID := s.runlog.newID()
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers})
+	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers})
 
 	s.metrics.runStarted()
 	start := time.Now()
+	timeline := obs.NewTimeline(start)
 	var (
 		seq      int
 		ttfr     time.Duration
@@ -291,6 +315,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if limitHit {
 			return
 		}
+		timeline.Observe()
 		seq++
 		if seq == 1 {
 			ttfr = time.Since(start)
@@ -309,11 +334,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	engineStats, runErr := smj.RunContext(ctx, engine, p, sink)
 	elapsed := time.Since(start)
 	s.metrics.observeEngineStats(engineStats)
+	progress := timeline.Quantiles()
+	phases := prof.Report()
 
 	rec := statsRecord{
-		Type: "stats", Engine: engine.Name(), Results: seq,
+		Type: "stats", RunID: runID, Engine: engine.Name(), Results: seq,
 		ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
 		TTFRMillis:    float64(ttfr.Microseconds()) / 1000,
+		Progress:      progress,
+		Phases:        phases,
 		EngineStats:   engineStats,
 	}
 	outcome := runCompleted
@@ -338,5 +367,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	finished = true
 	s.metrics.runFinished(outcome, int64(seq))
+	s.metrics.observeProgress(engine.Name(), progress)
+	s.metrics.observePhases(phases)
 	sw.record("stats", rec)
+
+	outcomeName := "completed"
+	switch outcome {
+	case runCanceled:
+		outcomeName = "canceled"
+	case runFailed:
+		outcomeName = "failed"
+	}
+	var trace []byte
+	if tracer != nil {
+		spans, instants := tracer.Spans()
+		trace, _ = obs.TraceJSON(append(prof.Spans(), spans...), instants)
+	}
+	s.runlog.add(RunRecord{
+		ID: runID, Engine: engine.Name(), Query: truncate(req.Query, 512),
+		Workers: workers, Start: start,
+		ElapsedMillis: rec.ElapsedMillis,
+		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
+		Results: seq, Progress: progress, Phases: phases,
+		EngineStats: engineStats,
+	}, trace)
+
+	logAttrs := []any{
+		"id", runID, "engine", engine.Name(), "outcome", outcomeName,
+		"results", seq,
+		"elapsedMs", rec.ElapsedMillis, "ttfrMs", rec.TTFRMillis,
+		"phases", phases.String(),
+	}
+	if rec.Reason != "" {
+		logAttrs = append(logAttrs, "reason", rec.Reason)
+	}
+	if rec.Error != "" {
+		logAttrs = append(logAttrs, "error", rec.Error)
+	}
+	if s.cfg.SlowRunThreshold > 0 && elapsed > s.cfg.SlowRunThreshold {
+		s.logger.Warn("slow run", append(logAttrs,
+			"thresholdMs", float64(s.cfg.SlowRunThreshold.Microseconds())/1000)...)
+	} else {
+		s.logger.Info("run", logAttrs...)
+	}
+}
+
+// truncate caps a string kept in the run log.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }

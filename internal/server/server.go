@@ -21,6 +21,9 @@
 //	DELETE /v1/relations/{name}  drop a relation
 //	POST   /v1/query             evaluate a PREFERRING query, streaming results
 //	GET    /v1/stats             service counters (JSON)
+//	GET    /v1/runs              recent run records (phase breakdown + progressiveness quantiles)
+//	GET    /v1/runs/{id}         one run record
+//	GET    /v1/runs/{id}/trace   the run's Chrome-trace document (requests with "trace": true)
 //	GET    /metrics              service counters (Prometheus text format)
 package server
 
@@ -29,6 +32,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -50,6 +55,7 @@ const (
 	defaultMaxGeneratedRows  = 10_000_000
 	defaultMaxRelations      = 64
 	defaultMaxTotalRows      = 20_000_000
+	defaultRunLogSize        = 128
 	// maxGeneratedDims bounds the dimensionality of one synthetic relation;
 	// together with the row cap and the catalog-entry cap it bounds the
 	// memory unauthenticated registration requests can pin (skyline queries
@@ -100,6 +106,15 @@ type Config struct {
 	// NewEngine overrides engine construction — a seam for tests to inject
 	// slow or failing engines. Default NewEngine.
 	NewEngine func(name string, opts core.Options) (smj.Engine, error)
+	// Logger receives the per-run structured log lines (one Info line per
+	// finished run; Warn for slow runs). Default: discard.
+	Logger *slog.Logger
+	// RunLogSize bounds the /v1/runs ring buffer of recent run records.
+	// Default 128; negative disables retention (the endpoints serve empty).
+	RunLogSize int
+	// SlowRunThreshold logs runs slower than this at Warn level with their
+	// full phase breakdown. 0 disables the slow-run log.
+	SlowRunThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +157,15 @@ func (c Config) withDefaults() Config {
 	if c.NewEngine == nil {
 		c.NewEngine = NewEngine
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.RunLogSize == 0 {
+		c.RunLogSize = defaultRunLogSize
+	}
+	if c.RunLogSize < 0 {
+		c.RunLogSize = 0 // retention disabled
+	}
 	return c
 }
 
@@ -153,6 +177,8 @@ type Server struct {
 	metrics *metrics
 	adm     *admission
 	mux     *http.ServeMux
+	runlog  *runLog
+	logger  *slog.Logger
 
 	// runCtx is done once CancelRuns is called; every engine run's context
 	// is tied to it so a graceful shutdown can abort in-flight streams.
@@ -170,6 +196,8 @@ func New(cfg Config) *Server {
 	}
 	s.runCtx, s.stopRuns = context.WithCancel(context.Background())
 	s.adm = newAdmission(s.cfg.MaxConcurrentRuns)
+	s.runlog = newRunLog(s.cfg.RunLogSize)
+	s.logger = s.cfg.Logger
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -184,6 +212,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	})
+	s.mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"runs": s.runlog.list()})
+	})
+	s.mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := s.runlog.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "run %q is not in the run log", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.runlog.trace(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "run %q has no stored trace (request with \"trace\": true)", r.PathValue("id"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-trace.json", r.PathValue("id")))
+		_, _ = w.Write(b)
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
