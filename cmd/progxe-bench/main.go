@@ -45,6 +45,7 @@ func run(args []string) error {
 		csvDir     = fs.String("csv", "", "write per-figure series as CSV files into this directory")
 		jsonPath   = fs.String("json", "", "write machine-readable per-figure results (engine, total-ms, first-ms, DomComparisons) to this file")
 		workers    = fs.Int("workers", 0, "additionally run each ProgXe engine with this many parallel workers (adds \"(w=N)\" variants)")
+		committers = fs.Int("committers", 0, "additionally run each ProgXe engine with -workers workers and this many partitioned committers (adds \"(w=N c=M)\" variants; needs -workers)")
 		baseline   = fs.String("baseline", "", "compare results against a committed BENCH_*.json and fail on ProgXe total-time regressions")
 		maxRegress = fs.Float64("max-regress", 0.2, "regression tolerance for -baseline (0.2 = fail beyond +20%)")
 		repeat     = fs.Int("repeat", 1, "run each cell this many times and keep the fastest (use ≥3 when gating with -baseline)")
@@ -53,6 +54,9 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *committers > 0 && *workers <= 0 {
+		return fmt.Errorf("-committers needs -workers (the commit stage only partitions on parallel runs)")
 	}
 
 	if *list {
@@ -83,6 +87,9 @@ func run(args []string) error {
 		}
 		if *workers > 0 {
 			f.Engines = bench.AddWorkerVariants(f.Engines, *workers)
+			if *committers > 0 {
+				f.Engines = bench.AddCommitterVariants(f.Engines, *workers, *committers)
+			}
 		}
 		runs := bench.RunFigure(f, os.Stdout, *series, *repeat)
 		if *plot && f.Kind == bench.Progress {

@@ -56,13 +56,14 @@ const compareFloorMS = 10.0
 
 // runKey identifies one comparable run across reports.
 type runKey struct {
-	figure  string
-	engine  string
-	n       int
-	dims    int
-	dist    string
-	sigma   float64
-	workers int
+	figure     string
+	engine     string
+	n          int
+	dims       int
+	dist       string
+	sigma      float64
+	workers    int
+	committers int
 }
 
 // cellKey identifies a workload cell (for control lookup) ignoring engine.
@@ -82,7 +83,7 @@ func indexRuns(r *JSONReport) (byRun map[runKey]JSONRun, control map[cellKey]flo
 			if run.Error != "" {
 				continue
 			}
-			k := runKey{f.Figure, run.Engine, run.N, run.Dims, run.Dist, run.Sigma, run.Workers}
+			k := runKey{f.Figure, run.Engine, run.N, run.Dims, run.Dist, run.Sigma, run.Workers, run.Committers}
 			if _, dup := byRun[k]; !dup {
 				byRun[k] = run
 			}
@@ -95,8 +96,8 @@ func indexRuns(r *JSONReport) (byRun map[runKey]JSONRun, control map[cellKey]flo
 }
 
 // CompareReports checks every ProgXe-family run present in both reports
-// (same figure, workload, and worker count), flagging cells whose total
-// time regressed by more than maxRegress (0.2 = 20%). Cells missing from
+// (same figure, workload, worker and committer count), flagging cells whose
+// total time regressed by more than maxRegress (0.2 = 20%). Cells missing from
 // either report are skipped: a changed scale or figure set compares
 // nothing rather than comparing apples to oranges.
 func CompareReports(baseline, current *JSONReport, maxRegress float64) []Verdict {
@@ -109,7 +110,7 @@ func CompareReports(baseline, current *JSONReport, maxRegress float64) []Verdict
 			if !strings.HasPrefix(run.Engine, "ProgXe") || run.Error != "" || run.TotalMS <= 0 {
 				continue
 			}
-			k := runKey{f.Figure, run.Engine, run.N, run.Dims, run.Dist, run.Sigma, run.Workers}
+			k := runKey{f.Figure, run.Engine, run.N, run.Dims, run.Dist, run.Sigma, run.Workers, run.Committers}
 			base, ok := baseRuns[k]
 			if !ok || base.TotalMS <= 0 {
 				continue
@@ -130,7 +131,7 @@ func CompareReports(baseline, current *JSONReport, maxRegress float64) []Verdict
 			v := Verdict{
 				Figure:     f.Figure,
 				Engine:     run.Engine,
-				Cell:       fmt.Sprintf("%s d=%d n=%d σ=%g w=%d", run.Dist, run.Dims, run.N, run.Sigma, run.Workers),
+				Cell:       cellLabel(run),
 				Baseline:   baseTotal,
 				Current:    curTotal,
 				Ratio:      curTotal / baseTotal,
@@ -142,6 +143,16 @@ func CompareReports(baseline, current *JSONReport, maxRegress float64) []Verdict
 		}
 	}
 	return out
+}
+
+// cellLabel renders a run's workload cell, including the committer count
+// only when the run used partitioned commit.
+func cellLabel(run JSONRun) string {
+	label := fmt.Sprintf("%s d=%d n=%d σ=%g w=%d", run.Dist, run.Dims, run.N, run.Sigma, run.Workers)
+	if run.Committers > 0 {
+		label += fmt.Sprintf(" c=%d", run.Committers)
+	}
+	return label
 }
 
 // Regressions filters a comparison down to the failing verdicts.

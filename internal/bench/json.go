@@ -21,8 +21,12 @@ type JSONRun struct {
 	Dist    string  `json:"dist"`
 	Sigma   float64 `json:"sigma"`
 	Workers int     `json:"workers,omitempty"`
-	TotalMS float64 `json:"total_ms"`
-	FirstMS float64 `json:"first_ms"`
+	// Committers is the partitioned-commit fan-out the run used (0 = commit
+	// on the sequencer); like Workers it is part of the run's identity for
+	// trajectory comparisons.
+	Committers int     `json:"committers,omitempty"`
+	TotalMS    float64 `json:"total_ms"`
+	FirstMS    float64 `json:"first_ms"`
 	// TT50MS/TT90MS are the progressiveness milestones: the time by which
 	// 50% / 90% of the final result set had been emitted.
 	TT50MS float64 `json:"tt50_ms,omitempty"`
@@ -32,6 +36,7 @@ type JSONRun struct {
 	// sequencer time spent in the serial commit+determine section.
 	SeqMS            float64 `json:"seq_ms,omitempty"`
 	WorkerMS         float64 `json:"worker_ms,omitempty"`
+	CommitterMS      float64 `json:"committer_ms,omitempty"`
 	SerialCommitFrac float64 `json:"serial_commit_frac,omitempty"`
 	Results          int     `json:"results"`
 	DomComparisons   int     `json:"dom_comparisons"`
@@ -73,6 +78,7 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 			Dist:           run.Workload.Dist.String(),
 			Sigma:          run.Workload.Sigma,
 			Workers:        run.Workers,
+			Committers:     run.Committers,
 			TotalMS:        float64(run.Total) / float64(time.Millisecond),
 			FirstMS:        float64(run.First) / float64(time.Millisecond),
 			Results:        run.Results,
@@ -89,6 +95,7 @@ func (r *JSONReport) AddFigure(f Figure, runs []RunResult) {
 		}
 		jr.SeqMS = run.Phases.SequencerMillis
 		jr.WorkerMS = run.Phases.WorkerMillis
+		jr.CommitterMS = run.Phases.CommitterMillis
 		jr.SerialCommitFrac = run.Phases.SerialCommitFraction
 		if run.Err != nil {
 			jr.Error = run.Err.Error()

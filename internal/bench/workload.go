@@ -65,20 +65,22 @@ func (w Workload) Problem() (*smj.Problem, error) {
 // so worker-count variants can be derived (see WithWorkers); Workers
 // records the parallelism the spec runs with, for benchmark reports.
 type EngineSpec struct {
-	Name    string
-	New     func() smj.Engine
-	Workers int
-	opts    *core.Options // nil for baselines without a parallel path
+	Name       string
+	New        func() smj.Engine
+	Workers    int
+	Committers int
+	opts       *core.Options // nil for baselines without a parallel path
 }
 
 // progxeSpec builds a ProgXe-family spec from core options.
 func progxeSpec(name string, opts core.Options) EngineSpec {
 	o := opts
 	return EngineSpec{
-		Name:    name,
-		New:     func() smj.Engine { return core.New(o) },
-		Workers: o.Workers,
-		opts:    &o,
+		Name:       name,
+		New:        func() smj.Engine { return core.New(o) },
+		Workers:    o.Workers,
+		Committers: o.Committers,
+		opts:       &o,
 	}
 }
 
@@ -99,6 +101,37 @@ func AddWorkerVariants(specs []EngineSpec, n int) []EngineSpec {
 	out := append([]EngineSpec(nil), specs...)
 	for _, s := range specs {
 		if v, ok := s.WithWorkers(n); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WithCommitters derives a partitioned-commit variant of a ProgXe-family
+// spec running with w workers and c committers, reporting false for engines
+// without a parallel path (the commit stage only partitions on parallel
+// runs, so both counts must be positive).
+func (s EngineSpec) WithCommitters(w, c int) (EngineSpec, bool) {
+	if s.opts == nil || w <= 0 || c <= 0 {
+		return s, false
+	}
+	o := *s.opts
+	o.Workers, o.Committers = w, c
+	return progxeSpec(fmt.Sprintf("%s (w=%d c=%d)", s.Name, w, c), o), true
+}
+
+// AddCommitterVariants appends a (w=w c=c) variant for every serial
+// ProgXe-family spec in the list. Applied after AddWorkerVariants it skips
+// the derived (w=n) variants — every base engine gains exactly one
+// partitioned-commit arm, so summaries can pair serial, parallel, and
+// commit-parallel runs of the same engine.
+func AddCommitterVariants(specs []EngineSpec, w, c int) []EngineSpec {
+	out := append([]EngineSpec(nil), specs...)
+	for _, s := range specs {
+		if s.Workers != 0 || s.Committers != 0 {
+			continue
+		}
+		if v, ok := s.WithCommitters(w, c); ok {
 			out = append(out, v)
 		}
 	}

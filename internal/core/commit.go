@@ -1,0 +1,287 @@
+package core
+
+import (
+	"sync"
+
+	"progxe/internal/obs"
+	"progxe/internal/par"
+)
+
+// Partitioned commit stage.
+//
+// With committers enabled, the sequencer stops executing phase-2 evictions,
+// buffer insertions and emission snapshots itself. Instead it decides every
+// verdict (which candidates survive, which cells get marked, which cells
+// emit — all against sequencer-owned metadata) and appends the resulting
+// *operations* to per-cell logs, keyed by a static partition of the output
+// grid: cell c belongs to committer c.seq % n. Each committer applies its
+// log in append order; because every operation's effect is confined to the
+// single cell it names (eviction scans, SFS buffer insertion, summary
+// maintenance, tuple drops), and because the sequencer routes one explicit
+// operation per affected cell (cross-cell dominance effects become one log
+// entry per victim cell, enumerated through the same bucket walk the serial
+// engine uses), per-cell apply order equals the serial engine's per-cell
+// mutation order. Cross-cell state never flows between committers, so the
+// final buffer contents — and the emission records the sequencer drains
+// through the bounded completion queue — are byte-identical to the serial
+// run, regardless of committer count or goroutine schedule.
+//
+// Ownership split (what makes this race-free, checked by the -race sweep):
+//
+//   - committers own cell.tuples, cell.minV/maxV, and a per-committer
+//     vecArena (evicted vectors recycle immediately — round survivors are
+//     referenced through the candidate stream, never these arena vectors);
+//   - the sequencer owns every other cell field (marked, populated,
+//     emitted, finalized, regCount, visited, watchers, …), the cell index,
+//     the Fenwick tree, and the run stats;
+//   - the phase-1 state (buffers + summaries) is read by precheck only
+//     after the per-round drain barrier, while every committer is idle.
+//
+// Synchronization is three channels' worth of happens-before edges: the
+// per-partition op channel (append order in, FIFO out), a WaitGroup fence
+// for the round barrier, and the capacity-1 completion queue that hands
+// emitted buffers back to the sequencer in cascade order.
+
+// commitOpKind enumerates the per-cell log operations.
+type commitOpKind uint8
+
+const (
+	// copInsert commits a surviving candidate into its cell: evict the
+	// survivors it dominates there, copy the vector into the committer's
+	// arena, and insert in SFS order.
+	copInsert commitOpKind = iota
+	// copEvict removes the survivors of one comparable cell dominated by
+	// the routed vector (phase 2, cross-cell).
+	copEvict
+	// copMark drops the buffered tuples of a cell the sequencer just
+	// marked (populating a cell strictly below it).
+	copMark
+	// copEmit hands the cell's buffer to the completion queue. It is
+	// always the last operation of its partition's log when sent, so
+	// receiving from the queue proves the partition fully drained.
+	copEmit
+)
+
+// commitOp is one entry of a per-cell operation log. v aliases the round's
+// candidate-stream block for insert/evict ops; the owning region's buffer is
+// only recycled after the next drain barrier.
+type commitOp struct {
+	kind            commitOpKind
+	c               *cell
+	leftID, rightID int64
+	sum             float64
+	v               []float64
+}
+
+// commitBatchOps is the flush threshold for pending per-partition logs.
+// Mid-round flushes are safe — the sequencer reads no committer-owned state
+// between the drain barrier and the next round's barrier — and let
+// committers overlap with verdict routing and determination.
+const commitBatchOps = 512
+
+// commitPart is one committer's partition: the channel carrying its log,
+// the sequencer-side pending batch, and the committer-owned scratch.
+type commitPart struct {
+	ch      chan []commitOp
+	pending []commitOp // sequencer-side, unflushed tail of the log
+	dirty   bool       // ops sent since the last proven-drained point
+	arena   vecArena   // committer-owned vector storage
+	comps   int        // committer-side dominance comparisons (folded at shutdown)
+}
+
+// commitPool runs the partitioned commit stage for one engine run.
+type commitPool struct {
+	n     int
+	d     int
+	parts []commitPart
+	free  chan []commitOp // recycled batch slices
+	emitQ chan []outTuple // bounded completion queue (capacity 1)
+	fence sync.WaitGroup  // round drain barrier
+	wg    sync.WaitGroup  // committer goroutine lifecycle
+
+	prof     *obs.Profiler
+	laneBase int // first committer profiler lane (2·workers+1)
+
+	emitWaitNanos int64 // sequencer time spent on the completion queue this round
+	closed        bool
+}
+
+// newCommitPool sizes a pool of n committers for vectors of dimension d.
+// laneBase is the first profiler lane the committers report on.
+func newCommitPool(n, d int, prof *obs.Profiler, laneBase int) *commitPool {
+	p := &commitPool{
+		n:        n,
+		d:        d,
+		parts:    make([]commitPart, n),
+		free:     make(chan []commitOp, 4*n+4),
+		emitQ:    make(chan []outTuple, 1),
+		prof:     prof,
+		laneBase: laneBase,
+	}
+	for i := range p.parts {
+		p.parts[i].ch = make(chan []commitOp, 8)
+		p.parts[i].arena.d = d
+	}
+	return p
+}
+
+// start launches the committer goroutines.
+func (p *commitPool) start() {
+	for i := 0; i < p.n; i++ {
+		p.wg.Add(1)
+		go p.committer(i)
+	}
+}
+
+// committer applies one partition's operation log. A nil batch is the fence
+// marker of a drain barrier.
+func (p *commitPool) committer(i int) {
+	defer p.wg.Done()
+	ct := &p.parts[i]
+	lane := p.laneBase + i
+	for batch := range ct.ch {
+		if batch == nil {
+			p.fence.Done()
+			continue
+		}
+		t0 := p.prof.Clock()
+		for k := range batch {
+			if par.YieldHook != nil && k%64 == 0 {
+				par.YieldHook()
+			}
+			op := &batch[k]
+			switch op.kind {
+			case copInsert:
+				evictDominatedInto(op.c, op.v, op.sum, &ct.comps, &ct.arena.free)
+				cv := ct.arena.get()
+				copy(cv, op.v)
+				bufferInsertD(op.c, outTuple{leftID: op.leftID, rightID: op.rightID, v: cv, sum: op.sum}, p.d)
+			case copEvict:
+				evictDominatedInto(op.c, op.v, op.sum, &ct.comps, &ct.arena.free)
+			case copMark:
+				for j := range op.c.tuples {
+					ct.arena.free = append(ct.arena.free, op.c.tuples[j].v)
+				}
+				op.c.tuples = nil
+			case copEmit:
+				// Emitted vectors are never recycled (the sink may retain
+				// them); the cell can no longer be evicted from or marked.
+				p.emitQ <- op.c.tuples
+			}
+		}
+		p.prof.EndWorker(obs.PhaseCommit, lane, t0)
+		select {
+		case p.free <- batch[:0]:
+		default:
+		}
+	}
+}
+
+// route appends one operation to its cell's partition log, flushing the
+// pending batch at the threshold.
+func (p *commitPool) route(op commitOp) {
+	i := int(op.c.seq) % p.n
+	ct := &p.parts[i]
+	ct.pending = append(ct.pending, op)
+	ct.dirty = true
+	if len(ct.pending) >= commitBatchOps {
+		p.flush(i)
+	}
+}
+
+// flush sends partition i's pending batch to its committer.
+func (p *commitPool) flush(i int) {
+	ct := &p.parts[i]
+	if len(ct.pending) == 0 {
+		return
+	}
+	ct.ch <- ct.pending
+	select {
+	case b := <-p.free:
+		ct.pending = b
+	default:
+		ct.pending = make([]commitOp, 0, commitBatchOps)
+	}
+}
+
+// flushAll sends every pending batch, letting committers overlap with the
+// sequencer's determination cascade.
+func (p *commitPool) flushAll() {
+	for i := range p.parts {
+		p.flush(i)
+	}
+}
+
+// drain is the round barrier: it flushes every dirty partition, posts a
+// fence marker, and blocks until all of them have applied their logs. On
+// return (a WaitGroup happens-before edge) the phase-1 state is frozen and
+// safe for precheck scans and sequencer reads.
+func (p *commitPool) drain() {
+	dirty := 0
+	for i := range p.parts {
+		if p.parts[i].dirty || len(p.parts[i].pending) > 0 {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		return
+	}
+	p.fence.Add(dirty)
+	for i := range p.parts {
+		ct := &p.parts[i]
+		if !ct.dirty && len(ct.pending) == 0 {
+			continue
+		}
+		p.flush(i)
+		ct.ch <- nil
+		ct.dirty = false
+	}
+	p.fence.Wait()
+}
+
+// emitCell routes the emission record of c and blocks on the completion
+// queue for its buffer. The emit op is the last entry of its partition's
+// log when sent and nothing follows it until this call returns, so the
+// received slice reflects every prior operation on the cell — and the
+// partition is proven drained. The wait is attributed to PhaseCommitWait
+// and accumulated so the enclosing determine span can exclude it.
+func (p *commitPool) emitCell(c *cell, prof *obs.Profiler) []outTuple {
+	i := int(c.seq) % p.n
+	p.parts[i].pending = append(p.parts[i].pending, commitOp{kind: copEmit, c: c})
+	p.flush(i)
+	t0 := prof.Clock()
+	tuples := <-p.emitQ
+	prof.EndSequencer(obs.PhaseCommitWait, t0)
+	p.emitWaitNanos += prof.Clock() - t0
+	p.parts[i].dirty = false
+	return tuples
+}
+
+// takeEmitWait returns and resets the accumulated completion-queue wait.
+func (p *commitPool) takeEmitWait() int64 {
+	w := p.emitWaitNanos
+	p.emitWaitNanos = 0
+	return w
+}
+
+// shutdown flushes outstanding logs, stops the committers, waits them out,
+// and returns the dominance comparisons they performed (folded into the run
+// stats in committer order, so the total is deterministic). Idempotent;
+// the engine defers it as a safety net and calls it explicitly after the
+// loop so the fold lands before stats are returned.
+func (p *commitPool) shutdown() int {
+	if p.closed {
+		return 0
+	}
+	p.closed = true
+	for i := range p.parts {
+		p.flush(i)
+		close(p.parts[i].ch)
+	}
+	p.wg.Wait()
+	comps := 0
+	for i := range p.parts {
+		comps += p.parts[i].comps
+	}
+	return comps
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 
 	"progxe/internal/core/sched"
+	"progxe/internal/grid"
 	"progxe/internal/join"
 	"progxe/internal/mapping"
 	"progxe/internal/obs"
@@ -129,6 +130,17 @@ type Options struct {
 	// smj.WithParallelism request on the RunContext context overrides this
 	// per run.
 	Workers int
+	// Committers enables the partitioned commit stage on top of parallel
+	// region processing: n ≥ 1 runs n committer goroutines, each owning a
+	// static partition of the output cell grid and applying the sequencer's
+	// per-cell operation logs (phase-2 evictions, buffer insertion, marks,
+	// emission snapshots), while the sequencer routes verdicts and drains a
+	// bounded completion queue. 0 (the default) keeps the commit protocol
+	// on the sequencer; negative picks GOMAXPROCS. Ignored unless Workers
+	// resolves to ≥ 1. Like Workers, any value yields a byte-identical
+	// result stream. A smj.WithCommitters request on the RunContext context
+	// overrides this per run.
+	Committers int
 	// Trace, when non-nil, receives an Event for every region selection,
 	// region completion, region discard, and cell emission. Intended for
 	// debugging, demos and tests; adds no cost when nil.
@@ -263,6 +275,13 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	committers := e.opts.Committers
+	if n, ok := smj.CommittersFrom(ctx); ok {
+		committers = n
+	}
+	if committers < 0 {
+		committers = runtime.GOMAXPROCS(0)
+	}
 
 	// Output space look-ahead (§III-A).
 	regions, pruned := buildRegionsProf(lparts, rparts, cp.Maps, workers, prof)
@@ -315,13 +334,28 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 		run.pool = newPool(ctx, workers, s, regions, len(rparts), cp.Maps)
 		run.pool.prof = prof
 		defer run.pool.stop()
+		if committers > 0 {
+			prof.SetCommitterLaneBase(2*workers + 1)
+			run.cpool = newCommitPool(committers, d, prof, 2*workers+1)
+			s.cpool = run.cpool
+			run.cpool.start()
+			defer run.cpool.shutdown()
+		}
 	}
 	if e.opts.Trace != nil {
 		s.traceEmit = func(c *cell, n int) {
 			run.emitTrace(Event{Kind: EventCellEmitted, Cell: c.flat, Survivors: n})
 		}
 	}
-	if err := run.loop(); err != nil {
+	err = run.loop()
+	if run.cpool != nil {
+		// Shut the committers down before stats are read (and before the
+		// completeness check below reads buffer state): the explicit call
+		// folds their dominance-comparison counters deterministically; the
+		// deferred call above then no-ops.
+		stats.DomComparisons += run.cpool.shutdown()
+	}
+	if err != nil {
 		return stats, err
 	}
 
@@ -345,10 +379,26 @@ type runState struct {
 
 	sched  sched.Scheduler
 	cancel *smj.Canceler
-	pool   *pool // non-nil when parallel region processing is enabled
+	pool   *pool       // non-nil when parallel region processing is enabled
+	cpool  *commitPool // non-nil when partitioned committers are enabled
 
 	mapBuf   []float64
 	roundNew [][]float64 // surviving vectors inserted by the current region
+	// roundSurv mirrors roundNew with the survivors' cells for the
+	// partitioned-commit path's intra-round dominance filter.
+	roundSurv []roundSurv
+	// pendingFinish is the last committed region whose candidate buffer is
+	// still referenced by in-flight operation logs; it is released at the
+	// next drain barrier.
+	pendingFinish *region
+}
+
+// roundSurv is one current-round survivor: its vector (candidate-stream
+// backed), coordinate sum, and target cell.
+type roundSurv struct {
+	v   []float64
+	sum float64
+	c   *cell
 }
 
 // loop repeats pick → tuple-level processing → progressive determination
@@ -466,11 +516,15 @@ func (r *runState) rankCardinality(id int) float64 {
 func (r *runState) process(reg *region) error {
 	reg.state = regionProcessed
 	r.roundNew = r.roundNew[:0]
+	r.roundSurv = r.roundSurv[:0]
 	joinedBefore := r.stats.JoinResults
 
-	if r.pool != nil {
+	switch {
+	case r.cpool != nil:
+		r.processCommitted(reg)
+	case r.pool != nil:
 		r.processPooled(reg)
-	} else {
+	default:
 		r.processSerial(reg)
 	}
 
@@ -512,6 +566,12 @@ func (r *runState) process(reg *region) error {
 
 	// roundNew is consumed; vectors evicted this round can now be recycled.
 	r.space.flushFree()
+	if r.cpool != nil {
+		// Completion-queue waits inside the cascade were already attributed
+		// to PhaseCommitWait; shift the span start so the determine total
+		// excludes them.
+		tDetermine += r.cpool.takeEmitWait()
+	}
 	prof.EndSequencer(obs.PhaseDetermine, tDetermine)
 	return nil
 }
@@ -592,6 +652,212 @@ func (r *runState) processPooled(reg *region) {
 	r.stats.JoinResults += n
 	prof.EndSequencer(obs.PhaseCommit, tCommit)
 	r.pool.finish(reg)
+}
+
+// processCommitted is the partitioned-commit path (see commit.go): the
+// sequencer decides every verdict against sequencer-owned state in the
+// canonical stream order, appends the effects as per-cell operations to the
+// committer logs, and defers all buffer mutation to the owning committers.
+//
+// Per round: (1) drain barrier — committers finish the previous round's
+// logs, freezing phase-1 state (and releasing the previous round's candidate
+// buffer, whose vectors the logs referenced); (2) phase-1 verdicts for every
+// candidate against that frozen space — fanned to the precheck workers for
+// large rounds, computed inline otherwise, but always for the whole round
+// before any op is appended; (3) the verdict/routing pass: a candidate
+// survives iff its cell is unmarked (marks from this very round included,
+// exactly like the serial engine's commit-time check), the pre-round space
+// does not dominate it, and no earlier-this-round survivor in a comparable
+// cell dominates it. That intra-round filter makes the combined verdict
+// equal the serial verdict: a serial rejection's live dominator is either a
+// pre-round survivor (phase 1 finds it, or a transitively stronger one) or
+// an earlier round survivor (the filter finds it); conversely both checks
+// only consult vectors the serial engine also held live at this candidate's
+// turn — eviction chains only ever strengthen dominators, and a dominator in
+// a cell strictly below would have marked this cell first.
+func (r *runState) processCommitted(reg *region) {
+	prof := r.engine.opts.Profiler
+	tTake := prof.Clock()
+	buf, n := r.pool.take(reg, r.cancel)
+	prof.EndSequencer(obs.PhasePrefetch, tTake)
+	cands := buf.cands[:n]
+	if n == 0 {
+		// No candidates, no state reads: the barrier can wait for a round
+		// that needs it. The buffer holds nothing the logs reference.
+		r.pool.finish(reg)
+		return
+	}
+
+	tWait := prof.Clock()
+	r.cpool.drain()
+	if r.pendingFinish != nil {
+		r.pool.finish(r.pendingFinish)
+		r.pendingFinish = nil
+	}
+	prof.EndSequencer(obs.PhaseCommitWait, tWait)
+
+	rejected := r.pool.rejectedScratch(n)
+	tCheck := prof.Clock()
+	if n >= precheckMinCands {
+		r.stats.DomComparisons += r.pool.precheck(r.space, cands, rejected)
+	} else {
+		// Inline phase 1 on the sequencer, still for the whole round up
+		// front: a per-candidate scan interleaved with routing would race
+		// with the committers applying this round's earlier ops.
+		comps := 0
+		for k := range cands {
+			cd := &cands[k]
+			c := r.space.cellAt(cd.flat)
+			if c == nil || c.marked {
+				continue
+			}
+			if r.space.precheckDominated(c, cd.v, cd.sum, r.pool.seqState, &comps) {
+				rejected[k] = true
+			}
+		}
+		r.stats.DomComparisons += comps
+	}
+	prof.EndSequencer(obs.PhasePrecheck, tCheck)
+
+	tCommit := prof.Clock()
+	for k := range cands {
+		if r.cancel.Check() != nil {
+			break
+		}
+		cd := &cands[k]
+		c := r.space.cellAt(cd.flat)
+		if c == nil {
+			continue
+		}
+		if c.marked {
+			r.stats.MappedDiscarded++
+			continue
+		}
+		if rejected[k] || r.intraRoundDominated(c, cd) {
+			continue
+		}
+		r.routeCommit(c, cd)
+		r.roundNew = append(r.roundNew, cd.v)
+		r.roundSurv = append(r.roundSurv, roundSurv{v: cd.v, sum: cd.sum, c: c})
+	}
+	r.stats.JoinResults += n
+	// Hand the committers everything routed so far; they overlap with the
+	// determination cascade and are fenced at the next round's barrier.
+	r.cpool.flushAll()
+	prof.EndSequencer(obs.PhaseCommit, tCommit)
+	r.pendingFinish = reg
+}
+
+// intraRoundDominated reports whether an earlier survivor of the current
+// round dominates the candidate. Comparability reduces to the componentwise
+// cell-coordinate test: a dominating survivor in a cell strictly below would
+// have marked the candidate's cell (checked, in routing order, before this
+// filter runs), so any candidate reaching here only has dominators in
+// comparable-≤ cells — the same set the serial engine's bucket walk scans.
+func (r *runState) intraRoundDominated(c *cell, cd *cand) bool {
+	s := r.space
+	packed := s.idx.packed
+	for i := range r.roundSurv {
+		u := &r.roundSurv[i]
+		if u.sum >= cd.sum {
+			// A dominator's coordinate sum is strictly smaller.
+			continue
+		}
+		if packed {
+			if !keyLeq(u.c.key, c.key) {
+				continue
+			}
+		} else if !grid.LeqAll(u.c.coords, c.coords) {
+			continue
+		}
+		r.stats.DomComparisons++
+		if preference.DominatesMin(u.v, cd.v) {
+			return true
+		}
+	}
+	return false
+}
+
+// routeCommit appends the operation log of one surviving candidate: the
+// insert into its own cell, one eviction per comparable populated cell above
+// (enumerated through the same bucket-suffix walk as commitSurvivor, against
+// sequencer-owned index state only), and — on first population — the
+// strictly-above marks. Per-cell op order equals sequencer append order,
+// which replays the serial engine's per-cell mutation order exactly.
+func (r *runState) routeCommit(c *cell, cd *cand) {
+	s := r.space
+	r.cpool.route(commitOp{
+		kind: copInsert, c: c,
+		leftID: cd.leftID, rightID: cd.rightID,
+		sum: cd.sum, v: cd.v,
+	})
+	packed := s.idx.packed
+	epoch := s.idx.stamp(c)
+	for i := 0; i < s.d; i++ {
+		b := s.idx.buckets[i][c.coords[i]]
+		for j := bucketSplit(b, c.flat+1); j < len(b); j++ {
+			e := &b[j]
+			if packed {
+				if !keyLeq(c.key, e.key) {
+					continue
+				}
+			} else if !grid.LeqAll(c.coords, e.c.coords) {
+				continue
+			}
+			p := e.c
+			// Buckets hold populated cells only; emitted buffers are
+			// immutable, marked ones already dropped. The serial walk's
+			// len(p.tuples) == 0 skip becomes a no-op eviction here
+			// (refuted by the committer before any comparison).
+			if p.visited == epoch || p.emitted || p.marked {
+				continue
+			}
+			p.visited = epoch
+			r.cpool.route(commitOp{kind: copEvict, c: p, sum: cd.sum, v: cd.v})
+		}
+	}
+	if !c.populated {
+		r.populateRouted(c)
+	}
+}
+
+// populateRouted is populate for the partitioned-commit path: identical
+// marking decisions (all against sequencer-owned state), with the buffer
+// drop of each newly marked cell routed to its owning committer.
+func (r *runState) populateRouted(c *cell) {
+	s := r.space
+	c.populated = true
+	s.idx.addPopulated(c)
+	vol := s.idx.strictUpperBoxVolume(c.coords)
+	if vol == 0 {
+		return
+	}
+	if s.idx.dense != nil && vol < len(s.cellList) {
+		s.idx.eachInStrictUpperBox(c.coords, func(q *cell) {
+			if !q.marked {
+				r.markRouted(q)
+			}
+		})
+		return
+	}
+	for _, q := range s.cellList {
+		if q.marked || q == c {
+			continue
+		}
+		if grid.StrictlyBelow(c.coords, q.coords) {
+			r.markRouted(q)
+		}
+	}
+}
+
+// markRouted marks a cell (sequencer-owned flag, visible to this round's
+// later verdicts immediately) and routes the tuple drop to its committer.
+func (r *runState) markRouted(q *cell) {
+	q.marked = true
+	r.stats.CellsMarked++
+	if q.populated {
+		r.cpool.route(commitOp{kind: copMark, c: q})
+	}
 }
 
 // discard eliminates a live region without processing it: its cells'

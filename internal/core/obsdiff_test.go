@@ -110,6 +110,32 @@ func TestDifferentialObservability(t *testing.T) {
 					}
 				}
 			}
+
+			// Partitioned commit with all observability on: byte-identical
+			// output, and the profiler attributes commit time to committer
+			// lanes (the attribution the parallel-commit gate reads).
+			precheckMinCands = 256
+			em, ev, stats, prof, _ = runObserved(t, p, Options{Workers: 2, Committers: 2})
+			compareRuns(t, "committed+obs", em, ev, stats, serialEm, serialEv, serialStats)
+			rep = prof.Report()
+			if rep.CommitterMillis <= 0 {
+				t.Fatalf("committed run attributed no committer time: %+v", rep)
+			}
+			for _, ph := range rep.Phases {
+				if ph.Phase == "commit" && ph.CommitterMillis <= 0 {
+					t.Fatalf("commit phase has no committer-lane time: %+v", ph)
+				}
+			}
+			foundLane := false
+			for _, sp := range prof.Spans() {
+				if sp.Track == "committer 1" || sp.Track == "committer 2" {
+					foundLane = true
+					break
+				}
+			}
+			if !foundLane {
+				t.Fatal("no committer-lane span recorded with EnableSpans")
+			}
 		})
 	}
 }

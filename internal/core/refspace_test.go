@@ -260,6 +260,21 @@ func workerSweep() []int {
 	return sweep
 }
 
+// committerSweep lists the committer counts crossed with worker counts in
+// the partitioned-commit differential sweep. Short mode (the PR race job)
+// keeps two counts; the full sweep — including NumCPU — runs in the CI
+// multicore job under -race, where committers are truly concurrent.
+func committerSweep() []int {
+	if testing.Short() {
+		return []int{1, 2}
+	}
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
 // runRecorded executes the engine built from opts over p, recording the
 // emission sequence, the full trace-event stream, and the run stats.
 func runRecorded(t *testing.T, p *smj.Problem, opts Options) ([]emission, []Event, smj.Stats) {
@@ -279,7 +294,7 @@ func runRecorded(t *testing.T, p *smj.Problem, opts Options) ([]emission, []Even
 		got = append(got, emission{cell: -1, leftID: res.LeftID, rightID: res.RightID, out: slices.Clone(res.Out)})
 	}))
 	if err != nil {
-		t.Fatalf("run (workers=%d): %v", opts.Workers, err)
+		t.Fatalf("run (workers=%d committers=%d): %v", opts.Workers, opts.Committers, err)
 	}
 	return got, events, stats
 }
@@ -308,29 +323,65 @@ func checkParallelMatchesSerial(t *testing.T, p *smj.Problem, opts Options, seri
 		popts := opts
 		popts.Workers = w
 		em, ev, stats := runRecorded(t, p, popts)
-		if len(em) != len(serialEm) {
-			t.Fatalf("workers=%d emitted %d results, serial %d", w, len(em), len(serialEm))
-		}
-		for i := range em {
-			g, s := em[i], serialEm[i]
-			if g.cell != s.cell || g.leftID != s.leftID || g.rightID != s.rightID || !slices.Equal(g.out, s.out) {
-				t.Fatalf("workers=%d emission %d diverges: parallel {cell %d (%d,%d) %v}, serial {cell %d (%d,%d) %v}",
-					w, i, g.cell, g.leftID, g.rightID, g.out, s.cell, s.leftID, s.rightID, s.out)
+		requireIdenticalRun(t, fmt.Sprintf("workers=%d", w), em, ev, stats, serialEm, serialEv, serialStats)
+	}
+
+	// Partitioned-commit sweep: every committers × workers combination must
+	// reproduce the serial stream bit for bit too, again alternating the
+	// precheck threshold so both phase-1 placements (parallel barrier,
+	// inline sequencer scan) cross both the op-log and emission paths.
+	combo := 0
+	for _, cN := range committerSweep() {
+		for _, w := range []int{1, 2, 4} {
+			if testing.Short() && w == 4 {
+				continue
 			}
-		}
-		if len(ev) != len(serialEv) {
-			t.Fatalf("workers=%d produced %d trace events, serial %d", w, len(ev), len(serialEv))
-		}
-		for i := range ev {
-			if ev[i] != serialEv[i] {
-				t.Fatalf("workers=%d event %d diverges: parallel %v, serial %v", w, i, ev[i], serialEv[i])
+			switch combo % 3 {
+			case 0:
+				precheckMinCands = 1
+			case 1:
+				precheckMinCands = 1 << 30
+			default:
+				precheckMinCands = 256
 			}
+			combo++
+			popts := opts
+			popts.Workers = w
+			popts.Committers = cN
+			em, ev, stats := runRecorded(t, p, popts)
+			requireIdenticalRun(t, fmt.Sprintf("workers=%d committers=%d", w, cN), em, ev, stats, serialEm, serialEv, serialStats)
 		}
-		ns, ss := stats, serialStats
-		ns.DomComparisons, ss.DomComparisons = 0, 0
-		if ns != ss {
-			t.Fatalf("workers=%d stats diverge: parallel %+v, serial %+v", w, ns, ss)
+	}
+}
+
+// requireIdenticalRun demands one recorded run equals the serial reference
+// byte for byte: emissions (cells, ids, vectors), the complete trace-event
+// stream, and every counter except DomComparisons (which reflects where
+// comparisons execute, not what they decide).
+func requireIdenticalRun(t *testing.T, label string, em []emission, ev []Event, stats smj.Stats, serialEm []emission, serialEv []Event, serialStats smj.Stats) {
+	t.Helper()
+	if len(em) != len(serialEm) {
+		t.Fatalf("%s emitted %d results, serial %d", label, len(em), len(serialEm))
+	}
+	for i := range em {
+		g, s := em[i], serialEm[i]
+		if g.cell != s.cell || g.leftID != s.leftID || g.rightID != s.rightID || !slices.Equal(g.out, s.out) {
+			t.Fatalf("%s emission %d diverges: parallel {cell %d (%d,%d) %v}, serial {cell %d (%d,%d) %v}",
+				label, i, g.cell, g.leftID, g.rightID, g.out, s.cell, s.leftID, s.rightID, s.out)
 		}
+	}
+	if len(ev) != len(serialEv) {
+		t.Fatalf("%s produced %d trace events, serial %d", label, len(ev), len(serialEv))
+	}
+	for i := range ev {
+		if ev[i] != serialEv[i] {
+			t.Fatalf("%s event %d diverges: parallel %v, serial %v", label, i, ev[i], serialEv[i])
+		}
+	}
+	ns, ss := stats, serialStats
+	ns.DomComparisons, ss.DomComparisons = 0, 0
+	if ns != ss {
+		t.Fatalf("%s stats diverge: parallel %+v, serial %+v", label, ns, ss)
 	}
 }
 

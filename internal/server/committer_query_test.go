@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestCommitterQueryMatchesSerial drives the per-request committers knob end
+// to end: a partitioned-commit run must stream the byte-identical result
+// sequence of a serial run, and the run record must echo the granted
+// (clamped) committer count.
+func TestCommitterQueryMatchesSerial(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxRunWorkers: 2, MaxRunCommitters: 2})
+	q := e2eWorkload(t, ts)
+
+	collect := func(req QueryRequest) (run map[string]any, results []map[string]any) {
+		t.Helper()
+		resp := postQuery(t, ts, req)
+		defer resp.Body.Close()
+		recs := decodeNDJSON(t, resp.Body)
+		if recs[0]["type"] != "run" {
+			t.Fatalf("stream starts with %v", recs[0])
+		}
+		last := recs[len(recs)-1]
+		if last["type"] != "stats" || last["error"] != nil {
+			t.Fatalf("stats trailer = %v", last)
+		}
+		return recs[0], recs[1 : len(recs)-1]
+	}
+
+	serialRun, serial := collect(QueryRequest{Query: q, Engine: "progxe"})
+	if c, ok := serialRun["committers"]; ok && c != float64(0) {
+		t.Fatalf("serial run record advertises committers=%v", c)
+	}
+
+	// Ask for more than the cap: clamped to MaxRunCommitters, echoed back.
+	comRun, committed := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 64})
+	if comRun["committers"] != float64(2) {
+		t.Fatalf("run record committers = %v, want 2 (clamped)", comRun["committers"])
+	}
+	if comRun["workers"] != float64(2) {
+		t.Fatalf("run record workers = %v, want 2", comRun["workers"])
+	}
+
+	if len(serial) != len(committed) || len(serial) == 0 {
+		t.Fatalf("result counts differ: serial %d, committed %d", len(serial), len(committed))
+	}
+	for i := range serial {
+		s, p := serial[i], committed[i]
+		if s["leftId"] != p["leftId"] || s["rightId"] != p["rightId"] ||
+			fmt.Sprint(s["out"]) != fmt.Sprint(p["out"]) {
+			t.Fatalf("result %d diverges: serial %v, committed %v", i, s, p)
+		}
+	}
+
+	// Committers without workers: the run is serial, so the knob is moot —
+	// granted 0 and echoed as absent, never silently half-applied.
+	soloRun, solo := collect(QueryRequest{Query: q, Engine: "progxe", Committers: 2})
+	if c, ok := soloRun["committers"]; ok && c != float64(0) {
+		t.Fatalf("serial run granted committers=%v", c)
+	}
+	if len(solo) != len(serial) {
+		t.Fatalf("committers-only run emitted %d results, want %d", len(solo), len(serial))
+	}
+
+	// The run log (and thus /v1/runs/{id}) mirrors the grant.
+	runID, _ := comRun["id"].(string)
+	rec, ok := srv.runlog.get(runID)
+	if !ok {
+		t.Fatalf("run %q not in the run log", runID)
+	}
+	if rec.Committers != 2 || rec.Workers != 2 {
+		t.Fatalf("run log records workers=%d committers=%d, want 2/2", rec.Workers, rec.Committers)
+	}
+}
+
+// TestCommitterQueryRejectsNegative pins the 400 path: a negative committer
+// count is a malformed request, not a clamp-to-zero.
+func TestCommitterQueryRejectsNegative(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: -1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative committers returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMaxRunCommittersDisabled verifies that a negative server cap turns the
+// knob off entirely: every request commits on the sequencer.
+func TestMaxRunCommittersDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRunCommitters: -1})
+	q := e2eWorkload(t, ts)
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 8})
+	defer resp.Body.Close()
+	recs := decodeNDJSON(t, resp.Body)
+	if c, ok := recs[0]["committers"]; ok && c != float64(0) {
+		t.Fatalf("disabled cap still granted committers=%v", c)
+	}
+	if recs[len(recs)-1]["error"] != nil {
+		t.Fatalf("run failed: %v", recs[len(recs)-1])
+	}
+}

@@ -39,6 +39,14 @@ type QueryRequest struct {
 	// knob trades CPU for latency, never determinism. 0 (the default)
 	// runs serial.
 	Workers int `json:"workers,omitempty"`
+	// Committers requests the partitioned commit stage with this many
+	// committer goroutines (ProgXe engines only; effective only on parallel
+	// runs, i.e. with workers ≥ 1). The value is clamped to the server's
+	// MaxRunCommitters cap. Like workers, this never changes the result
+	// stream. Negative values are rejected with 400: unlike workers (where
+	// 0 and "no parallelism" coincide), a negative committer count has no
+	// meaningful reading. 0 (the default) keeps commit on the sequencer.
+	Committers int `json:"committers,omitempty"`
 	// Ranker selects the progressive scheduler's benefit model (ProgXe
 	// engines only): "benefit-cost" (the default, Equation 8 with exact
 	// ProgCount) or "cardinality" (O(1) refreshes that skip ProgCount).
@@ -53,11 +61,12 @@ type QueryRequest struct {
 // runRecord heads every stream: the run's id in the run log, the resolved
 // engine, output dimensions, and the worker count granted after clamping.
 type runRecord struct {
-	Type    string   `json:"type"` // "run"
-	ID      string   `json:"id"`
-	Engine  string   `json:"engine"`
-	Dims    []string `json:"dims"`
-	Workers int      `json:"workers,omitempty"`
+	Type       string   `json:"type"` // "run"
+	ID         string   `json:"id"`
+	Engine     string   `json:"engine"`
+	Dims       []string `json:"dims"`
+	Workers    int      `json:"workers,omitempty"`
+	Committers int      `json:"committers,omitempty"`
 }
 
 // resultRecord carries one progressively emitted result.
@@ -185,6 +194,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = s.cfg.DefaultEngine
 	}
+	if req.Committers < 0 {
+		writeError(w, http.StatusBadRequest, "committers must be >= 0, got %d", req.Committers)
+		return
+	}
 	ranker, err := core.ParseRanker(req.Ranker)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -279,6 +292,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if workers > 0 {
 		ctx = smj.WithParallelism(ctx, workers)
 	}
+	// Per-request committer count for the partitioned commit stage, clamped
+	// by its own cap. Only meaningful on parallel runs — the engine ignores
+	// it when the run is serial — but granted-and-echoed regardless so the
+	// run record always reports what the request was resolved to.
+	committers := req.Committers
+	if committers > s.cfg.MaxRunCommitters {
+		committers = s.cfg.MaxRunCommitters
+	}
+	if workers == 0 {
+		committers = 0
+	}
+	if committers > 0 {
+		ctx = smj.WithCommitters(ctx, committers)
+	}
 	// Service shutdown aborts in-flight runs so graceful drains finish
 	// within their window instead of waiting out every stream.
 	defer context.AfterFunc(s.runCtx, cancelRun)()
@@ -293,7 +320,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers})
+	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers, Committers: committers})
 
 	s.metrics.runStarted()
 	start := time.Now()
@@ -385,7 +412,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runlog.add(RunRecord{
 		ID: runID, Engine: engine.Name(), Query: truncate(req.Query, 512),
-		Workers: workers, Start: start,
+		Workers: workers, Committers: committers, Start: start,
 		ElapsedMillis: rec.ElapsedMillis,
 		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
 		Results: seq, Progress: progress, Phases: phases,

@@ -17,6 +17,7 @@ type RunRecord struct {
 	Engine        string    `json:"engine"`
 	Query         string    `json:"query,omitempty"`
 	Workers       int       `json:"workers,omitempty"`
+	Committers    int       `json:"committers,omitempty"`
 	Start         time.Time `json:"start"`
 	ElapsedMillis float64   `json:"elapsedMillis"`
 	Outcome       string    `json:"outcome"` // completed | canceled | failed

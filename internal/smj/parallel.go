@@ -30,3 +30,30 @@ func ParallelismFrom(ctx context.Context) (int, bool) {
 	n, ok := ctx.Value(parallelismKey{}).(int)
 	return n, ok
 }
+
+// committersKey carries a per-run committer-count request, the partitioned
+// commit stage's analogue of parallelismKey.
+type committersKey struct{}
+
+// WithCommitters returns a context requesting that engines run the commit
+// stage across n output-space-partitioned committer goroutines. The ProgXe
+// core reads the value in RunContext, where it overrides the configured
+// Options.Committers; n = 0 keeps the commit protocol on the sequencer. The
+// request only takes effect when the run is parallel (workers ≥ 1) and, like
+// WithParallelism, never changes the result stream.
+func WithCommitters(ctx context.Context, n int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, committersKey{}, n)
+}
+
+// CommittersFrom reports the committer count requested via WithCommitters,
+// and whether one was set at all.
+func CommittersFrom(ctx context.Context) (int, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	n, ok := ctx.Value(committersKey{}).(int)
+	return n, ok
+}

@@ -86,6 +86,15 @@ func WithParallelism(ctx context.Context, n int) context.Context {
 	return smj.WithParallelism(ctx, n)
 }
 
+// WithCommitters returns a context requesting that the run apply commit
+// operations across n output-space-partitioned committer goroutines (ProgXe
+// engines; overrides Options.Committers for that run, effective only when
+// the run is parallel). Like WithParallelism, this never changes the result
+// stream.
+func WithCommitters(ctx context.Context, n int) context.Context {
+	return smj.WithCommitters(ctx, n)
+}
+
 // Relational substrate types.
 type (
 	// Relation is an in-memory table.
