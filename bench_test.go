@@ -9,8 +9,12 @@
 package progxe_test
 
 import (
+	"bufio"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,6 +24,8 @@ import (
 	"progxe/internal/datagen"
 	"progxe/internal/join"
 	"progxe/internal/mapping"
+	"progxe/internal/relation"
+	"progxe/internal/server"
 	"progxe/internal/sig"
 	"progxe/internal/skyline"
 	"progxe/internal/smj"
@@ -370,6 +376,80 @@ func BenchmarkJoinSubstrate(b *testing.B) {
 			join.Merge(r.Tuples, t.Tuples, func(int, int) bool { return true })
 		}
 	})
+}
+
+// BenchmarkServeTTFR measures time-to-first-result through the HTTP serve
+// layer — the quantity the serve-path plan cache exists to improve. The
+// cache-miss variant disables the plan cache so every request re-pays
+// partition/region-build/prune at query time; the cache-hit variant warms
+// the cache once and measures the replanning-free path. Reported first-ms
+// here is client-observed: request write → first "result" NDJSON line.
+func BenchmarkServeTTFR(b *testing.B) {
+	left, right, err := datagen.GeneratePair(datagen.Spec{
+		N: 2000, Dims: 3, Distribution: datagen.AntiCorrelated,
+		Selectivity: 0.01, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const query = `SELECT (R.a0+T.a0) AS x, (R.a1+T.a1) AS y FROM R R, T T ` +
+		`WHERE R.jkey = T.jkey PREFERRING LOWEST(x) AND LOWEST(y)`
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"cache-miss", -1}, // plan cache disabled: full setup every request
+		{"cache-hit", 0},   // default cache: warmed before the timer starts
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := server.New(server.Config{PlanCacheSize: mode.cacheSize})
+			for _, rel := range []*relation.Relation{left, right} {
+				if err := srv.Catalog().Register(rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			body := fmt.Sprintf(`{"query": %q}`, query)
+			fire := func() time.Duration {
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("query status %d", resp.StatusCode)
+				}
+				var first time.Duration
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+				for sc.Scan() {
+					if first == 0 && strings.Contains(sc.Text(), `"type":"result"`) {
+						first = time.Since(start)
+					}
+				}
+				if err := sc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if first == 0 {
+					b.Fatal("stream held no result records")
+				}
+				return first
+			}
+			fire() // warm: connection pool, and the plan cache when enabled
+			b.ResetTimer()
+			var firstSum, firstMin time.Duration
+			for i := 0; i < b.N; i++ {
+				first := fire()
+				firstSum += first
+				if i == 0 || first < firstMin {
+					firstMin = first
+				}
+			}
+			reportFirstMS(b, firstSum, firstMin)
+		})
+	}
 }
 
 // BenchmarkMapping measures mapping-function evaluation and interval

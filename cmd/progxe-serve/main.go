@@ -63,6 +63,8 @@ func run(args []string, ready chan<- string) error {
 		logFormat  = fs.String("log-format", "text", "structured run-log format: text or json")
 		slowRun    = fs.Duration("slow-run", 0, "log runs slower than this at WARN level (0 = disabled)")
 		runLogSize = fs.Int("run-log", 0, "recent runs retained for /v1/runs (0 = default 128, negative = disabled)")
+		planCache  = fs.Int("plan-cache", 0, "compiled query plans cached across runs (0 = default 128, negative = disabled)")
+		coalesce   = fs.Int("coalesce", server.DefaultCoalesceReplay, "replay-buffer records per coalesced run; concurrent identical queries share one engine run (0 or negative = disabled)")
 		loads      []string
 	)
 	fs.Func("load", "preload a relation from CSV as name=path (repeatable)", func(v string) error {
@@ -95,6 +97,8 @@ func run(args []string, ready chan<- string) error {
 		Logger:            logger,
 		SlowRunThreshold:  *slowRun,
 		RunLogSize:        *runLogSize,
+		PlanCacheSize:     *planCache,
+		CoalesceReplay:    *coalesce,
 	})
 
 	if *demo {

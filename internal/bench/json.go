@@ -48,6 +48,17 @@ type JSONRun struct {
 	// SchedEdges records the EL-Graph size the scheduler managed.
 	SchedEdges int    `json:"sched_edges,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// Serve-path metrics, populated by the load harness (cmd/progxe-loadgen)
+	// when the run was measured through the HTTP serve layer rather than by
+	// driving the engine directly: client-observed time-to-first-result
+	// quantiles, sustained completed-request throughput, the plan-cache hit
+	// rate over the measured window, and the mean subscriber fan-out per
+	// coalesced engine run.
+	ServeTTFRP50MS float64 `json:"serve_ttfr_p50_ms,omitempty"`
+	ServeTTFRP99MS float64 `json:"serve_ttfr_p99_ms,omitempty"`
+	ThroughputRPS  float64 `json:"throughput_rps,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	CoalesceFanout float64 `json:"coalesce_fanout,omitempty"`
 }
 
 // JSONFigure groups the runs of one reproduced figure.

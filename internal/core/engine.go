@@ -240,53 +240,47 @@ var _ smj.ContextEngine = (*Engine)(nil)
 func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) (smj.Stats, error) {
 	var stats smj.Stats
 	cancel := smj.NewCanceler(ctx)
-	prof := e.opts.Profiler
-	cp, d, err := checkProblem(p)
+	workers, committers := e.resolveParallelism(ctx)
+	pl, err := e.prepare(cancel, p, workers, &stats)
 	if err != nil {
 		return stats, err
 	}
-	left, right := cp.Left, cp.Right
+	return e.runPlan(ctx, cancel, pl, sink, workers, committers)
+}
 
-	tPartition := prof.Clock()
-	if e.opts.PushThrough {
-		var prunedL, prunedR int
-		left, prunedL = smj.PushThroughContext(left, cp.Maps, mapping.Left, cancel)
-		right, prunedR = smj.PushThroughContext(right, cp.Maps, mapping.Right, cancel)
-		stats.PushPruned = prunedL + prunedR
-		if err := cancel.Now(); err != nil {
-			return stats, err
-		}
-	}
-
-	lparts, err := e.partition(left, cp.Maps, mapping.Left)
-	if err != nil {
-		return stats, err
-	}
-	rparts, err := e.partition(right, cp.Maps, mapping.Right)
-	if err != nil {
-		return stats, err
-	}
-	prof.EndSequencer(obs.PhasePartition, tPartition)
-
-	workers := e.opts.Workers
+// resolveParallelism resolves the run's worker and committer counts from the
+// engine options and their per-run context overrides.
+func (e *Engine) resolveParallelism(ctx context.Context) (workers, committers int) {
+	workers = e.opts.Workers
 	if n, ok := smj.ParallelismFrom(ctx); ok {
 		workers = n
 	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	committers := e.opts.Committers
+	committers = e.opts.Committers
 	if n, ok := smj.CommittersFrom(ctx); ok {
 		committers = n
 	}
 	if committers < 0 {
 		committers = runtime.GOMAXPROCS(0)
 	}
+	return workers, committers
+}
 
-	// Output space look-ahead (§III-A).
-	regions, pruned := buildRegionsProf(lparts, rparts, cp.Maps, workers, prof)
-	stats.Regions = len(regions) + pruned
-	stats.RegionsPruned = pruned
+// runPlan is the tuple-processing half of RunContext: it materializes fresh
+// per-run regions from the plan, lays the output space, and drives the
+// framework loop. All observable behavior — emissions, trace events,
+// counters — is identical whether the plan was prepared moments ago by
+// RunContext or served from a cache.
+func (e *Engine) runPlan(ctx context.Context, cancel *smj.Canceler, pl *Prepared, sink smj.Sink, workers, committers int) (smj.Stats, error) {
+	var stats smj.Stats
+	prof := e.opts.Profiler
+	cp, d := pl.problem, pl.d
+	regions := pl.materialize()
+	stats.PushPruned = pl.pushPruned
+	stats.Regions = len(regions) + pl.pruned
+	stats.RegionsPruned = pl.pruned
 	outCells := e.opts.OutputCells
 	if outCells == 0 {
 		outCells = autoOutputCells(d)
@@ -303,7 +297,7 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 	// emitted cells are immutable and never recycled); non-canonical ones
 	// decanonicalize into a fresh arena vector instead of mutating it.
 	var neg []int
-	for j, a := range p.Pref.Attributes() {
+	for j, a := range pl.pref.Attributes() {
 		if a.Order == preference.Highest {
 			neg = append(neg, j)
 		}
@@ -331,7 +325,7 @@ func (e *Engine) RunContext(ctx context.Context, p *smj.Problem, sink smj.Sink) 
 		cancel:   cancel,
 	}
 	if workers > 0 && len(regions) > 0 {
-		run.pool = newPool(ctx, workers, s, regions, len(rparts), cp.Maps)
+		run.pool = newPool(ctx, workers, s, regions, len(pl.rparts), cp.Maps)
 		run.pool.prof = prof
 		defer run.pool.stop()
 		if committers > 0 {

@@ -1,0 +1,82 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV drives the CSV ingest boundary — the only path through which
+// network clients hand the service bulk data — with arbitrary bytes. The
+// invariants: ReadCSV either returns a structurally sound relation or an
+// error, never panics; an accepted relation holds only finite values and a
+// consistent arity; and an accepted relation round-trips through
+// WriteCSV → ReadCSV into the same tuples (the /v1/relations download of an
+// upload must mean the same data).
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"id,price,speed,region\n1,10,5,1\n2,20,1,1\n",
+		"id,a,j\n1,0.5,7\n",
+		"id,a0,a1,jkey\n1,1e300,-2.5,3\n2,0.0,3.25,3\n",
+		"id,a,j\n1,NaN,2\n",       // non-finite value must be rejected
+		"id,a,j\n1,+Inf,2\n",      // non-finite value must be rejected
+		"id,a,j\nx,1,2\n",         // bad id
+		"id,a,j\n1,1\n",           // short row
+		"id,a\n1,2\n",             // too few columns
+		"nid,a,j\n1,1,2\n",        // first column must be id
+		"id,a,a\n1,1,2\n",         // duplicate attribute names
+		"id,\"a\nb\",j\n1,1,2\n",  // quoted header with newline
+		"id,a,j\n\"1\",\"2\",3\n", // quoted fields
+		"id,a,j\r\n1,2,3\r\n",     // CRLF
+		"",                        // empty input
+		"\xff\xfe,a,j\n1,2,3\n",   // invalid UTF-8
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		arity := rel.Schema.Arity()
+		if arity < 1 || rel.Schema.JoinAttr == "" {
+			t.Fatalf("accepted schema is unsound: %+v", rel.Schema)
+		}
+		for i, tup := range rel.Tuples {
+			if len(tup.Vals) != arity {
+				t.Fatalf("tuple %d has %d values, schema arity %d", i, len(tup.Vals), arity)
+			}
+			for _, v := range tup.Vals {
+				if v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308 {
+					t.Fatalf("tuple %d holds non-finite value %v", i, v)
+				}
+			}
+		}
+
+		// Round-trip: what the service would serve back must parse into the
+		// same relation.
+		var buf bytes.Buffer
+		if err := rel.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted relation fails to serialize: %v", err)
+		}
+		back, err := ReadCSV("fuzz", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized relation fails to re-parse: %v\ncsv:\n%s", err, buf.Bytes())
+		}
+		if back.Len() != rel.Len() || back.Schema.Arity() != arity {
+			t.Fatalf("round-trip changed shape: %d×%d → %d×%d", rel.Len(), arity, back.Len(), back.Schema.Arity())
+		}
+		for i := range rel.Tuples {
+			a, b := rel.Tuples[i], back.Tuples[i]
+			if a.ID != b.ID || a.JoinKey != b.JoinKey {
+				t.Fatalf("round-trip changed tuple %d identity: %+v → %+v", i, a, b)
+			}
+			for j := range a.Vals {
+				if a.Vals[j] != b.Vals[j] {
+					t.Fatalf("round-trip changed tuple %d value %d: %v → %v", i, j, a.Vals[j], b.Vals[j])
+				}
+			}
+		}
+	})
+}

@@ -16,11 +16,22 @@ import (
 type Catalog struct {
 	mu   sync.RWMutex
 	rels map[string]*relation.Relation
+	// vers assigns every name its registration generation: a strictly
+	// increasing catalog-wide counter bumped on each Register/Remove. A
+	// name's version therefore changes whenever its relation is replaced,
+	// which is what keys compiled-plan cache entries — a mutation makes
+	// every cached plan over the old snapshot unreachable (invalidation by
+	// key miss) without touching the cache itself.
+	vers map[string]uint64
+	gen  uint64
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{rels: make(map[string]*relation.Relation)}
+	return &Catalog{
+		rels: make(map[string]*relation.Relation),
+		vers: make(map[string]uint64),
+	}
 }
 
 // validName reports whether a relation name can appear as a table name in
@@ -86,6 +97,8 @@ func (c *Catalog) RegisterCapped(rel *relation.Relation, maxEntries, maxRows int
 		}
 	}
 	c.rels[name] = rel
+	c.gen++
+	c.vers[name] = c.gen
 	return nil
 }
 
@@ -97,12 +110,26 @@ func (c *Catalog) Get(name string) (*relation.Relation, bool) {
 	return rel, ok
 }
 
+// GetVersioned resolves a relation together with its registration version.
+// The pair is read under one lock, so the version identifies exactly the
+// returned snapshot — the property plan-cache keys depend on.
+func (c *Catalog) GetVersioned(name string) (*relation.Relation, uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rel, ok := c.rels[name]
+	return rel, c.vers[name], ok
+}
+
 // Remove deletes a relation, reporting whether it existed.
 func (c *Catalog) Remove(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, ok := c.rels[name]
 	delete(c.rels, name)
+	if ok {
+		delete(c.vers, name)
+		c.gen++
+	}
 	return ok
 }
 

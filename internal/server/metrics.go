@@ -30,9 +30,22 @@ type metrics struct {
 	runsFailed      int64
 	runsRejected    int64
 	resultsStreamed int64
-	ttfrCounts      []int64 // len(ttfrBuckets)+1; last is +Inf
-	ttfrSum         float64 // seconds
-	ttfrObserved    int64
+	// Plan-cache and run-coalescing counters. Hits and misses count
+	// getOrBuild consultations (deduplicated builders count one miss;
+	// sharers of an in-flight build count hits); coalescedRuns counts
+	// engine runs started on behalf of a subscriber group, and
+	// coalescedSubscribers every stream attached to one (leaders
+	// included), so fan-out = subscribers / runs. replayTruncated counts
+	// subscribers disconnected because they fell behind the bounded
+	// replay ring.
+	planCacheHits        int64
+	planCacheMisses      int64
+	coalescedRuns        int64
+	coalescedSubscribers int64
+	replayTruncated      int64
+	ttfrCounts           []int64 // len(ttfrBuckets)+1; last is +Inf
+	ttfrSum              float64 // seconds
+	ttfrObserved         int64
 	// Scheduler-layer engine counters, accumulated across runs.
 	schedEdges         int64
 	schedRankRefreshes int64
@@ -119,6 +132,36 @@ func (m *metrics) runRejected() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) planHit() {
+	m.mu.Lock()
+	m.planCacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) planMiss() {
+	m.mu.Lock()
+	m.planCacheMisses++
+	m.mu.Unlock()
+}
+
+func (m *metrics) coalescedRunStarted() {
+	m.mu.Lock()
+	m.coalescedRuns++
+	m.mu.Unlock()
+}
+
+func (m *metrics) coalescedAttach() {
+	m.mu.Lock()
+	m.coalescedSubscribers++
+	m.mu.Unlock()
+}
+
+func (m *metrics) replayTruncation() {
+	m.mu.Lock()
+	m.replayTruncated++
+	m.mu.Unlock()
+}
+
 // observeEngineStats folds one run's engine counters into the service
 // totals (currently the scheduler-layer triple).
 func (m *metrics) observeEngineStats(st smj.Stats) {
@@ -202,16 +245,22 @@ type Bucket struct {
 // Snapshot is a point-in-time view of the service counters, shaped for the
 // JSON stats endpoint.
 type Snapshot struct {
-	RunsStarted     int64    `json:"runsStarted"`
-	RunsActive      int64    `json:"runsActive"`
-	RunsCompleted   int64    `json:"runsCompleted"`
-	RunsCanceled    int64    `json:"runsCanceled"`
-	RunsFailed      int64    `json:"runsFailed"`
-	RunsRejected    int64    `json:"runsRejected"`
-	ResultsStreamed int64    `json:"resultsStreamed"`
-	TTFRObserved    int64    `json:"ttfrObserved"`
-	TTFRSumSeconds  float64  `json:"ttfrSumSeconds"`
-	TTFR            []Bucket `json:"ttfr"`
+	RunsStarted     int64 `json:"runsStarted"`
+	RunsActive      int64 `json:"runsActive"`
+	RunsCompleted   int64 `json:"runsCompleted"`
+	RunsCanceled    int64 `json:"runsCanceled"`
+	RunsFailed      int64 `json:"runsFailed"`
+	RunsRejected    int64 `json:"runsRejected"`
+	ResultsStreamed int64 `json:"resultsStreamed"`
+	// Plan-cache and coalescing counters; see metrics for semantics.
+	PlanCacheHits        int64    `json:"planCacheHits"`
+	PlanCacheMisses      int64    `json:"planCacheMisses"`
+	CoalescedRuns        int64    `json:"coalescedRuns"`
+	CoalescedSubscribers int64    `json:"coalescedSubscribers"`
+	ReplayTruncated      int64    `json:"replayTruncated"`
+	TTFRObserved         int64    `json:"ttfrObserved"`
+	TTFRSumSeconds       float64  `json:"ttfrSumSeconds"`
+	TTFR                 []Bucket `json:"ttfr"`
 	// Scheduler-layer totals across runs (ProgXe engines with graph
 	// ordering; zero for baselines and fixed orders).
 	SchedEdges         int64 `json:"schedEdges"`
@@ -251,8 +300,14 @@ func (m *metrics) snapshot() Snapshot {
 		RunsFailed:      m.runsFailed,
 		RunsRejected:    m.runsRejected,
 		ResultsStreamed: m.resultsStreamed,
-		TTFRObserved:    m.ttfrObserved,
-		TTFRSumSeconds:  m.ttfrSum,
+
+		PlanCacheHits:        m.planCacheHits,
+		PlanCacheMisses:      m.planCacheMisses,
+		CoalescedRuns:        m.coalescedRuns,
+		CoalescedSubscribers: m.coalescedSubscribers,
+		ReplayTruncated:      m.replayTruncated,
+		TTFRObserved:         m.ttfrObserved,
+		TTFRSumSeconds:       m.ttfrSum,
 
 		SchedEdges:         m.schedEdges,
 		SchedRankRefreshes: m.schedRankRefreshes,
@@ -319,6 +374,11 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("progxe_runs_failed_total", "Engine runs that returned an error.", s.RunsFailed)
 	counter("progxe_runs_rejected_total", "Query requests shed by the admission controller.", s.RunsRejected)
 	counter("progxe_results_streamed_total", "Results streamed to clients.", s.ResultsStreamed)
+	counter("progxe_plan_cache_hits_total", "Query requests served a cached compiled plan.", s.PlanCacheHits)
+	counter("progxe_plan_cache_misses_total", "Query requests that compiled and cached a plan.", s.PlanCacheMisses)
+	counter("progxe_coalesced_runs_total", "Engine runs started on behalf of coalesced subscriber groups.", s.CoalescedRuns)
+	counter("progxe_coalesced_subscribers_total", "Streams attached to coalesced runs (leaders included).", s.CoalescedSubscribers)
+	counter("progxe_replay_truncated_total", "Coalesced subscribers dropped after falling behind the replay ring.", s.ReplayTruncated)
 	counter("progxe_sched_edges_total", "EL-Graph edges installed by region schedulers.", s.SchedEdges)
 	counter("progxe_sched_rank_refreshes_total", "Lazy benefit/cost rank refreshes at queue-pop.", s.SchedRankRefreshes)
 	counter("progxe_sched_fenwick_updates_total", "Point updates on active-cell and in-degree Fenwick trees.", s.FenwickUpdates)

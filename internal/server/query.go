@@ -12,6 +12,7 @@ import (
 	"progxe/internal/core"
 	"progxe/internal/obs"
 	"progxe/internal/query"
+	"progxe/internal/relation"
 	"progxe/internal/smj"
 )
 
@@ -54,7 +55,9 @@ type QueryRequest struct {
 	// Trace records a Chrome-trace document for this run (phase spans,
 	// region spans, emission instants), retrievable afterwards from
 	// GET /v1/runs/{id}/trace and loadable in Perfetto. Off by default:
-	// span retention costs memory proportional to the region count.
+	// span retention costs memory proportional to the region count. Trace
+	// runs bypass the plan cache and run coalescing — a trace documents one
+	// complete, private run.
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -67,6 +70,9 @@ type runRecord struct {
 	Dims       []string `json:"dims"`
 	Workers    int      `json:"workers,omitempty"`
 	Committers int      `json:"committers,omitempty"`
+	// Cached reports that this run reused a compiled plan from the plan
+	// cache, skipping the partition / region-build / prune phases.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // resultRecord carries one progressively emitted result.
@@ -82,18 +88,23 @@ type resultRecord struct {
 // statsRecord trails every stream, reporting how the run ended, where its
 // time went, and how early its results arrived.
 type statsRecord struct {
-	Type          string        `json:"type"` // "stats"
-	RunID         string        `json:"runId"`
-	Engine        string        `json:"engine"`
-	Results       int           `json:"results"`
-	ElapsedMillis float64       `json:"elapsedMillis"`
-	TTFRMillis    float64       `json:"ttfrMillis,omitempty"`
-	Canceled      bool          `json:"canceled,omitempty"`
-	Reason        string        `json:"reason,omitempty"` // disconnect | timeout | limit | shutdown
-	Error         string        `json:"error,omitempty"`
-	Progress      obs.Quantiles `json:"progress"`
-	Phases        obs.Report    `json:"phases"`
-	EngineStats   smj.Stats     `json:"engineStats"`
+	Type          string  `json:"type"` // "stats"
+	RunID         string  `json:"runId"`
+	Engine        string  `json:"engine"`
+	Results       int     `json:"results"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+	TTFRMillis    float64 `json:"ttfrMillis,omitempty"`
+	Canceled      bool    `json:"canceled,omitempty"`
+	Reason        string  `json:"reason,omitempty"` // disconnect | timeout | limit | shutdown
+	Error         string  `json:"error,omitempty"`
+	// Cached reports plan-cache reuse (see runRecord.Cached).
+	Cached bool `json:"cached,omitempty"`
+	// Subscribers counts the clients this run's stream was fanned out to.
+	// Zero for uncoalesced runs; ≥ 1 when run coalescing served the run.
+	Subscribers int           `json:"subscribers,omitempty"`
+	Progress    obs.Quantiles `json:"progress"`
+	Phases      obs.Report    `json:"phases"`
+	EngineStats smj.Stats     `json:"engineStats"`
 }
 
 // streamWriter abstracts the two wire formats (NDJSON lines, SSE frames).
@@ -136,14 +147,25 @@ func (sw *streamWriter) record(event string, v any) {
 		// the stats trailer must still reach the client.
 		return
 	}
+	sw.raw(event, b)
+}
+
+// raw writes one pre-encoded record and flushes it. Coalesced streams go
+// through this path: the run encodes each record once, every subscriber
+// writes the same bytes.
+func (sw *streamWriter) raw(event string, data []byte) {
+	if sw.fail {
+		return
+	}
 	if sw.stall > 0 {
 		// Rolling per-record deadline; reset by end() after the stream.
 		_ = sw.rc.SetWriteDeadline(time.Now().Add(sw.stall))
 	}
+	var err error
 	if sw.sse {
-		_, err = fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", event, b)
+		_, err = fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", event, data)
 	} else {
-		_, err = fmt.Fprintf(sw.w, "%s\n", b)
+		_, err = fmt.Fprintf(sw.w, "%s\n", data)
 	}
 	if err != nil {
 		sw.failed()
@@ -169,10 +191,200 @@ func (sw *streamWriter) end() {
 	}
 }
 
+// resolveTimeout reconciles the request's timeout with the server cap: the
+// request may only tighten it.
+func (s *Server) resolveTimeout(reqMillis int64) time.Duration {
+	timeout := s.cfg.RunTimeout
+	if reqMillis > 0 {
+		ms := reqMillis
+		// Clamp before multiplying: a huge value would overflow to a
+		// negative Duration and disable the server's cap entirely.
+		if ms > int64(time.Duration(1<<62)/time.Millisecond) {
+			ms = int64(time.Duration(1<<62) / time.Millisecond)
+		}
+		if t := time.Duration(ms) * time.Millisecond; timeout < 0 || t < timeout {
+			timeout = t
+		}
+	}
+	return timeout
+}
+
+// clampParallelism grants the request's worker and committer counts under
+// the server caps. Committers are zeroed on serial runs: the engine would
+// ignore them, and granted-equals-effective keeps run records honest.
+func (s *Server) clampParallelism(reqWorkers, reqCommitters int) (workers, committers int) {
+	workers = reqWorkers
+	if workers < 0 {
+		workers = 0
+	}
+	if workers > s.cfg.MaxRunWorkers {
+		workers = s.cfg.MaxRunWorkers
+	}
+	committers = reqCommitters
+	if committers > s.cfg.MaxRunCommitters {
+		committers = s.cfg.MaxRunCommitters
+	}
+	if workers == 0 {
+		committers = 0
+	}
+	return workers, committers
+}
+
+// planFor resolves the compiled plan for key. With useCache, the plan cache
+// answers — a hit skips compilation and, for ProgXe-family engines, the
+// partition / region-build / prune phases entirely; a miss compiles once and
+// is shared by every concurrent requester of the same key. Without it the
+// query is compiled privately and entry.plan stays nil, which downstream
+// means "run exactly as an uncached server would".
+//
+// Cache builds run the prepare step under a server-scoped context (bounded
+// by shutdown and the server's RunTimeout), not the triggering request's:
+// a builder whose client disconnects mid-compile must not poison the entry
+// its sharers are waiting on.
+func (s *Server) planFor(key planKey, engine smj.Engine, q *query.Query, left, right *relation.Relation, workers int, useCache bool) (entry *planEntry, hit bool, err error) {
+	if !useCache || s.plans == nil {
+		p, err := q.Compile(left, right)
+		if err != nil {
+			return nil, false, err
+		}
+		return &planEntry{problem: p}, false, nil
+	}
+	return s.plans.getOrBuild(key, func() (*planEntry, error) {
+		p, err := q.Compile(left, right)
+		if err != nil {
+			return nil, err
+		}
+		e := &planEntry{problem: p}
+		pe, ok := engine.(planEngine)
+		if !ok {
+			return e, nil // baseline engine: cache the compilation alone
+		}
+		ctx, cancel := context.WithCancel(s.runCtx)
+		defer cancel()
+		if t := s.cfg.RunTimeout; t > 0 {
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+		if workers > 0 {
+			ctx = smj.WithParallelism(ctx, workers)
+		}
+		pl, err := pe.PrepareContext(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		e.plan = pl
+		return e, nil
+	})
+}
+
+// runResult gathers everything one finished engine run produced, for the
+// stats trailer, metrics, and the run log — shared by the solo and the
+// coalesced execution paths.
+type runResult struct {
+	runID, engineName, query string
+	workers, committers      int
+	cached                   bool
+	fanout                   int // subscribers ever attached; 0 = uncoalesced
+	start                    time.Time
+	elapsed, ttfr            time.Duration
+	seq                      int
+	limitHit                 bool
+	runErr                   error
+	progress                 obs.Quantiles
+	phases                   obs.Report
+	engineStats              smj.Stats
+	trace                    []byte
+}
+
+// finishRun settles a completed engine run: outcome classification, the
+// metrics counters, the run-log record, and the structured log line. It
+// returns the stats trailer for the caller to put on the wire.
+func (s *Server) finishRun(res runResult) statsRecord {
+	s.metrics.observeEngineStats(res.engineStats)
+	rec := statsRecord{
+		Type: "stats", RunID: res.runID, Engine: res.engineName, Results: res.seq,
+		ElapsedMillis: float64(res.elapsed.Microseconds()) / 1000,
+		TTFRMillis:    float64(res.ttfr.Microseconds()) / 1000,
+		Cached:        res.cached,
+		Subscribers:   res.fanout,
+		Progress:      res.progress,
+		Phases:        res.phases,
+		EngineStats:   res.engineStats,
+	}
+	outcome := runCompleted
+	switch {
+	case res.runErr == nil:
+	case errors.Is(res.runErr, context.Canceled), errors.Is(res.runErr, context.DeadlineExceeded):
+		outcome = runCanceled
+		rec.Canceled = true
+		switch {
+		case res.limitHit:
+			rec.Reason = "limit"
+		case errors.Is(res.runErr, context.DeadlineExceeded):
+			rec.Reason = "timeout"
+		case s.runCtx.Err() != nil:
+			rec.Reason = "shutdown"
+		default:
+			rec.Reason = "disconnect"
+		}
+	default:
+		outcome = runFailed
+		rec.Error = res.runErr.Error()
+	}
+	s.metrics.runFinished(outcome, int64(res.seq))
+	s.metrics.observeProgress(res.engineName, res.progress)
+	s.metrics.observePhases(res.phases)
+
+	outcomeName := "completed"
+	switch outcome {
+	case runCanceled:
+		outcomeName = "canceled"
+	case runFailed:
+		outcomeName = "failed"
+	}
+	s.runlog.add(RunRecord{
+		ID: res.runID, Engine: res.engineName, Query: truncate(res.query, 512),
+		Workers: res.workers, Committers: res.committers, Start: res.start,
+		ElapsedMillis: rec.ElapsedMillis,
+		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
+		Results: res.seq, Cached: res.cached, Subscribers: res.fanout,
+		Progress: res.progress, Phases: res.phases,
+		EngineStats: res.engineStats,
+	}, res.trace)
+
+	logAttrs := []any{
+		"id", res.runID, "engine", res.engineName, "outcome", outcomeName,
+		"results", res.seq,
+		"elapsedMs", rec.ElapsedMillis, "ttfrMs", rec.TTFRMillis,
+		"phases", res.phases.String(),
+	}
+	if res.cached {
+		logAttrs = append(logAttrs, "cached", true)
+	}
+	if res.fanout > 0 {
+		logAttrs = append(logAttrs, "subscribers", res.fanout)
+	}
+	if rec.Reason != "" {
+		logAttrs = append(logAttrs, "reason", rec.Reason)
+	}
+	if rec.Error != "" {
+		logAttrs = append(logAttrs, "error", rec.Error)
+	}
+	if s.cfg.SlowRunThreshold > 0 && res.elapsed > s.cfg.SlowRunThreshold {
+		s.logger.Warn("slow run", append(logAttrs,
+			"thresholdMs", float64(s.cfg.SlowRunThreshold.Microseconds())/1000)...)
+	} else {
+		s.logger.Info("run", logAttrs...)
+	}
+	return rec
+}
+
 // handleQuery admits, compiles, and executes one query, streaming results
 // progressively until the run completes, errors, hits the limit, times out,
 // or the client disconnects — the latter three through context cancellation
-// of the smj.ContextEngine contract.
+// of the smj.ContextEngine contract. With coalescing enabled, concurrent
+// identical requests share one engine run (see coalesce.go); otherwise each
+// request runs privately.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
@@ -203,6 +415,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+
+	// Parsing and catalog resolution precede admission: both are cheap (no
+	// relation-sized copies) and both are needed to name the plan — the
+	// relation versions pin exactly the snapshots this run will see.
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	left, leftVer, ok := s.catalog.GetVersioned(q.From[0].Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[0].Table)
+		return
+	}
+	right, rightVer, ok := s.catalog.GetVersioned(q.From[1].Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[1].Table)
+		return
+	}
+	timeout := s.resolveTimeout(req.TimeoutMillis)
+	workers, committers := s.clampParallelism(req.Workers, req.Committers)
+	key := planKey{
+		engine: strings.ToLower(engineName), query: q.String(),
+		leftVer: leftVer, rightVer: rightVer,
+	}
+
+	if s.coal != nil && !req.Trace {
+		s.handleCoalesced(w, r, req, sse, engineName, ranker, q, key, left, right, timeout, workers, committers)
+		return
+	}
+
+	// Solo path: one request, one engine run.
+	//
+	// Admission precedes compilation: Compile copies relation-sized data
+	// (selection push-down), so unadmitted requests must not reach it —
+	// otherwise a burst bypasses the resource bound the controller exists
+	// to provide.
+	release, ok := s.adm.tryAcquire()
+	if !ok {
+		s.metrics.runRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"all %d run slots are busy; retry shortly", s.adm.capacity())
+		return
+	}
+	defer release()
+
 	// Every run is profiled: the accumulators are a few atomic adds, and the
 	// phase breakdown feeds the run log, the stats trailer, and /metrics.
 	// Span retention and the event recorder are opt-in per request.
@@ -220,58 +479,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission precedes compilation: Compile copies relation-sized data
-	// (selection push-down), so unadmitted requests must not reach it —
-	// otherwise a burst bypasses the resource bound the controller exists
-	// to provide.
-	release, ok := s.adm.tryAcquire()
-	if !ok {
-		s.metrics.runRejected()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			"all %d run slots are busy; retry shortly", s.adm.capacity())
-		return
-	}
-	defer release()
-
-	q, err := query.Parse(req.Query)
+	// Trace runs bypass the plan cache: a cached plan was prepared by some
+	// earlier run, so reusing it would leave the trace without its setup
+	// spans — a trace documents one complete run.
+	entry, cached, err := s.planFor(key, engine, q, left, right, workers, !req.Trace)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// Resolve FROM table names against the catalog. The snapshot taken here
-	// stays valid for the whole run even if the catalog entry is replaced.
-	left, ok := s.catalog.Get(q.From[0].Table)
-	if !ok {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[0].Table)
-		return
-	}
-	right, ok := s.catalog.Get(q.From[1].Table)
-	if !ok {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[1].Table)
-		return
-	}
-	p, err := q.Compile(left, right)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 
 	// The run context: client disconnect cancels it via r.Context();
 	// timeouts and the result limit cancel it explicitly.
 	ctx := r.Context()
-	timeout := s.cfg.RunTimeout
-	if req.TimeoutMillis > 0 {
-		ms := req.TimeoutMillis
-		// Clamp before multiplying: a huge value would overflow to a
-		// negative Duration and disable the server's cap entirely.
-		if ms > int64(time.Duration(1<<62)/time.Millisecond) {
-			ms = int64(time.Duration(1<<62) / time.Millisecond)
-		}
-		if t := time.Duration(ms) * time.Millisecond; timeout < 0 || t < timeout {
-			timeout = t
-		}
-	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -282,26 +505,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Per-request parallelism, clamped by the server cap. The request is
 	// threaded through the context so any ContextEngine can honor it; the
 	// run record reports what was granted.
-	workers := req.Workers
-	if workers < 0 {
-		workers = 0
-	}
-	if workers > s.cfg.MaxRunWorkers {
-		workers = s.cfg.MaxRunWorkers
-	}
 	if workers > 0 {
 		ctx = smj.WithParallelism(ctx, workers)
-	}
-	// Per-request committer count for the partitioned commit stage, clamped
-	// by its own cap. Only meaningful on parallel runs — the engine ignores
-	// it when the run is serial — but granted-and-echoed regardless so the
-	// run record always reports what the request was resolved to.
-	committers := req.Committers
-	if committers > s.cfg.MaxRunCommitters {
-		committers = s.cfg.MaxRunCommitters
-	}
-	if workers == 0 {
-		committers = 0
 	}
 	if committers > 0 {
 		ctx = smj.WithCommitters(ctx, committers)
@@ -320,7 +525,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: p.Maps.Names(), Workers: workers, Committers: committers})
+	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(), Workers: workers, Committers: committers, Cached: cached})
 
 	s.metrics.runStarted()
 	start := time.Now()
@@ -358,85 +563,151 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			cancelRun()
 		}
 	})
-	engineStats, runErr := smj.RunContext(ctx, engine, p, sink)
+	var (
+		engineStats smj.Stats
+		runErr      error
+	)
+	if entry.plan != nil {
+		// Cache hit on a ProgXe-family engine: run straight from the plan
+		// snapshot, skipping partition / region-build / prune.
+		engineStats, runErr = engine.(planEngine).RunPlanContext(ctx, entry.plan, sink)
+	} else {
+		engineStats, runErr = smj.RunContext(ctx, engine, entry.problem, sink)
+	}
 	elapsed := time.Since(start)
-	s.metrics.observeEngineStats(engineStats)
-	progress := timeline.Quantiles()
-	phases := prof.Report()
 
-	rec := statsRecord{
-		Type: "stats", RunID: runID, Engine: engine.Name(), Results: seq,
-		ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
-		TTFRMillis:    float64(ttfr.Microseconds()) / 1000,
-		Progress:      progress,
-		Phases:        phases,
-		EngineStats:   engineStats,
-	}
-	outcome := runCompleted
-	switch {
-	case runErr == nil:
-	case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded):
-		outcome = runCanceled
-		rec.Canceled = true
-		switch {
-		case limitHit:
-			rec.Reason = "limit"
-		case errors.Is(runErr, context.DeadlineExceeded):
-			rec.Reason = "timeout"
-		case s.runCtx.Err() != nil:
-			rec.Reason = "shutdown"
-		default:
-			rec.Reason = "disconnect"
-		}
-	default:
-		outcome = runFailed
-		rec.Error = runErr.Error()
-	}
-	finished = true
-	s.metrics.runFinished(outcome, int64(seq))
-	s.metrics.observeProgress(engine.Name(), progress)
-	s.metrics.observePhases(phases)
-	sw.record("stats", rec)
-
-	outcomeName := "completed"
-	switch outcome {
-	case runCanceled:
-		outcomeName = "canceled"
-	case runFailed:
-		outcomeName = "failed"
-	}
 	var trace []byte
 	if tracer != nil {
 		spans, instants := tracer.Spans()
 		trace, _ = obs.TraceJSON(append(prof.Spans(), spans...), instants)
 	}
-	s.runlog.add(RunRecord{
-		ID: runID, Engine: engine.Name(), Query: truncate(req.Query, 512),
-		Workers: workers, Committers: committers, Start: start,
-		ElapsedMillis: rec.ElapsedMillis,
-		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
-		Results: seq, Progress: progress, Phases: phases,
-		EngineStats: engineStats,
-	}, trace)
+	rec := s.finishRun(runResult{
+		runID: runID, engineName: engine.Name(), query: req.Query,
+		workers: workers, committers: committers, cached: cached,
+		start: start, elapsed: elapsed, ttfr: ttfr,
+		seq: seq, limitHit: limitHit, runErr: runErr,
+		progress: timeline.Quantiles(), phases: prof.Report(),
+		engineStats: engineStats, trace: trace,
+	})
+	finished = true
+	sw.record("stats", rec)
+}
 
-	logAttrs := []any{
-		"id", runID, "engine", engine.Name(), "outcome", outcomeName,
-		"results", seq,
-		"elapsedMs", rec.ElapsedMillis, "ttfrMs", rec.TTFRMillis,
-		"phases", phases.String(),
+// handleCoalesced serves one request through the run coalescer: the first
+// request for a coalesce key leads (setting up and starting the shared
+// engine run), later identical requests attach as subscribers; every client
+// then streams the same byte-identical records from the group's replay ring.
+func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req QueryRequest, sse bool,
+	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
+	left, right *relation.Relation, timeout time.Duration, workers, committers int) {
+
+	ckey := coalesceKey{
+		plan: key, ranker: ranker, limit: req.Limit,
+		workers: workers, committers: committers,
+		timeoutMillis: int64(timeout / time.Millisecond),
 	}
-	if rec.Reason != "" {
-		logAttrs = append(logAttrs, "reason", rec.Reason)
+	g, leader, ok := s.coal.joinOrLead(ckey, s.adm, s.metrics.coalescedAttach)
+	if !ok {
+		s.metrics.runRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"all %d run slots are busy; retry shortly", s.adm.capacity())
+		return
 	}
-	if rec.Error != "" {
-		logAttrs = append(logAttrs, "error", rec.Error)
+	if leader {
+		s.startCoalesced(g, req, engineName, ranker, q, key, left, right, timeout, workers, committers)
 	}
-	if s.cfg.SlowRunThreshold > 0 && elapsed > s.cfg.SlowRunThreshold {
-		s.logger.Warn("slow run", append(logAttrs,
-			"thresholdMs", float64(s.cfg.SlowRunThreshold.Microseconds())/1000)...)
-	} else {
-		s.logger.Info("run", logAttrs...)
+	s.streamGroup(w, r, g, sse)
+}
+
+// startCoalesced performs the leader-only setup of a coalesced run — engine
+// construction, plan resolution, context assembly — and hands the group to
+// the run goroutine. Setup failures resolve the group into a shared HTTP
+// error: every subscriber (the leader included) reports it identically.
+func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
+	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
+	left, right *relation.Relation, timeout time.Duration, workers, committers int) {
+
+	// Until the run goroutine owns the group, every exit — error or panic —
+	// must resolve the group and return the admission slot it holds.
+	started := false
+	failStatus, failMsg := http.StatusInternalServerError, "internal error during run setup"
+	defer func() {
+		if !started {
+			s.coal.remove(g)
+			g.failPre(failStatus, failMsg)
+			g.release()
+		}
+	}()
+	fail := func(status int, format string, args ...any) {
+		failStatus, failMsg = status, fmt.Sprintf(format, args...)
 	}
+
+	prof := obs.NewProfiler()
+	engine, err := s.cfg.NewEngine(engineName, core.Options{Ranker: ranker, Profiler: prof})
+	if err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, cached, err := s.planFor(key, engine, q, left, right, workers, true)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		fail(status, "%v", err)
+		return
+	}
+
+	// The shared run's context descends from the server's run context, not
+	// the leader's request: the run must survive the leader's disconnect as
+	// long as other subscribers remain. Its lifetime is bounded by server
+	// shutdown, the shared timeout, the shared limit, and the last detach.
+	ctx := s.runCtx
+	var cancelT context.CancelFunc = func() {}
+	if timeout > 0 {
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancelRun := context.WithCancel(ctx)
+	if workers > 0 {
+		ctx = smj.WithParallelism(ctx, workers)
+	}
+	if committers > 0 {
+		ctx = smj.WithCommitters(ctx, committers)
+	}
+	g.mu.Lock()
+	g.cancel = func() { cancelRun(); cancelT() }
+	g.mu.Unlock()
+
+	runID := s.runlog.newID()
+	g.appendJSON("run", runRecord{
+		Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(),
+		Workers: workers, Committers: committers, Cached: cached,
+	})
+	go s.runCoalesced(g, runSpec{
+		runID: runID, engineName: engine.Name(), query: req.Query,
+		workers: workers, committers: committers, limit: req.Limit,
+		cached: cached, prof: prof,
+		run: func(sink smj.Sink) (smj.Stats, error) {
+			defer cancelRun()
+			defer cancelT()
+			if entry.plan != nil {
+				return engine.(planEngine).RunPlanContext(ctx, entry.plan, sink)
+			}
+			return smj.RunContext(ctx, engine, entry.problem, sink)
+		},
+	})
+	started = true
+}
+
+// runSpec is what the coalesced run goroutine needs from leader setup.
+type runSpec struct {
+	runID, engineName, query string
+	workers, committers      int
+	limit                    int
+	cached                   bool
+	prof                     *obs.Profiler
+	run                      func(smj.Sink) (smj.Stats, error)
 }
 
 // truncate caps a string kept in the run log.

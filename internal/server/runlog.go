@@ -24,6 +24,12 @@ type RunRecord struct {
 	Reason        string    `json:"reason,omitempty"`
 	Error         string    `json:"error,omitempty"`
 	Results       int       `json:"results"`
+	// Cached reports that the run reused a compiled plan from the plan
+	// cache (partition / region-build / prune skipped).
+	Cached bool `json:"cached,omitempty"`
+	// Subscribers counts the clients the run's stream was fanned out to by
+	// the coalescer; zero for uncoalesced runs.
+	Subscribers int `json:"subscribers,omitempty"`
 	// Progress is the run's emission timeline reduced to the paper's
 	// milestones (TT-first/10%/50%/90%/last), measured from run start.
 	Progress obs.Quantiles `json:"progress"`

@@ -56,6 +56,11 @@ const (
 	defaultMaxRelations      = 64
 	defaultMaxTotalRows      = 20_000_000
 	defaultRunLogSize        = 128
+	defaultPlanCacheSize     = 128
+	// DefaultCoalesceReplay is the replay-ring bound (records per coalesced
+	// run) the serve binary enables coalescing with; exported so the flag
+	// default and the Config documentation agree.
+	DefaultCoalesceReplay = 16384
 	// maxGeneratedDims bounds the dimensionality of one synthetic relation;
 	// together with the row cap and the catalog-entry cap it bounds the
 	// memory unauthenticated registration requests can pin (skyline queries
@@ -121,6 +126,23 @@ type Config struct {
 	// SlowRunThreshold logs runs slower than this at Warn level with their
 	// full phase breakdown. 0 disables the slow-run log.
 	SlowRunThreshold time.Duration
+	// PlanCacheSize bounds the compiled-plan cache: entries are keyed on
+	// (engine, normalized query, relation versions) and hold the compiled
+	// problem plus, for ProgXe-family engines, the prepared plan snapshot
+	// whose reuse skips the partition/region-build/prune phases entirely.
+	// Catalog mutations bump relation versions, invalidating stale entries
+	// by key miss. Default 128 entries; negative disables the cache.
+	PlanCacheSize int
+	// CoalesceReplay enables single-flight run coalescing: concurrent
+	// identical query requests (same plan key, ranker, limit, workers,
+	// committers, timeout; trace requests excluded) share one engine run,
+	// each subscriber replaying the same encoded record stream. The value
+	// bounds the per-run replay ring in records — a subscriber that falls
+	// further behind than this is terminated with a truncated-replay error
+	// rather than stalling the run. 0 (the default) disables coalescing,
+	// preserving run-per-request semantics; the serve binary enables it
+	// with DefaultCoalesceReplay.
+	CoalesceReplay int
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +200,15 @@ func (c Config) withDefaults() Config {
 	if c.RunLogSize < 0 {
 		c.RunLogSize = 0 // retention disabled
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = defaultPlanCacheSize
+	}
+	if c.PlanCacheSize < 0 {
+		c.PlanCacheSize = 0 // cache disabled
+	}
+	if c.CoalesceReplay < 0 {
+		c.CoalesceReplay = 0 // coalescing disabled (also the zero default)
+	}
 	return c
 }
 
@@ -191,6 +222,8 @@ type Server struct {
 	mux     *http.ServeMux
 	runlog  *runLog
 	logger  *slog.Logger
+	plans   *planCache // nil when the plan cache is disabled
+	coal    *coalescer // nil when run coalescing is disabled
 
 	// runCtx is done once CancelRuns is called; every engine run's context
 	// is tied to it so a graceful shutdown can abort in-flight streams.
@@ -210,6 +243,12 @@ func New(cfg Config) *Server {
 	s.adm = newAdmission(s.cfg.MaxConcurrentRuns)
 	s.runlog = newRunLog(s.cfg.RunLogSize)
 	s.logger = s.cfg.Logger
+	if s.cfg.PlanCacheSize > 0 {
+		s.plans = newPlanCache(s.cfg.PlanCacheSize, s.metrics.planHit, s.metrics.planMiss)
+	}
+	if s.cfg.CoalesceReplay > 0 {
+		s.coal = newCoalescer(s.cfg.CoalesceReplay)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -37,6 +37,7 @@ package progxe
 
 import (
 	"context"
+	"fmt"
 
 	"progxe/internal/baseline"
 	"progxe/internal/core"
@@ -93,6 +94,45 @@ func WithParallelism(ctx context.Context, n int) context.Context {
 // stream.
 func WithCommitters(ctx context.Context, n int) context.Context {
 	return smj.WithCommitters(ctx, n)
+}
+
+// Prepared is a reusable snapshot of the plan-construction phases of a
+// ProgXe run (input partitioning, region pairing, look-ahead pruning). It is
+// immutable once built, so one Prepared plan can back any number of
+// concurrent RunPreparedContext evaluations — the serve layer's query-plan
+// cache is built on exactly this.
+type Prepared = core.Prepared
+
+// PlanEngine is implemented by engines whose plan-construction phases can be
+// snapshotted and reused across runs — the ProgXe family. Baselines evaluate
+// monolithically and do not implement it.
+type PlanEngine interface {
+	// PrepareContext runs the plan-construction phases only.
+	PrepareContext(ctx context.Context, p *Problem) (*Prepared, error)
+	// RunPlanContext evaluates a prepared plan under the RunContext contract:
+	// byte-identical emissions, minus the already-paid plan construction.
+	RunPlanContext(ctx context.Context, pl *Prepared, sink Sink) (Stats, error)
+}
+
+// PrepareContext snapshots the plan-construction phases of e for p, when the
+// engine supports it (see PlanEngine); ok reports support.
+func PrepareContext(ctx context.Context, e Engine, p *Problem) (pl *Prepared, ok bool, err error) {
+	pe, ok := e.(PlanEngine)
+	if !ok {
+		return nil, false, nil
+	}
+	pl, err = pe.PrepareContext(ctx, p)
+	return pl, true, err
+}
+
+// RunPreparedContext evaluates a prepared plan with e, which must be the
+// preparing engine or one configured with the same plan-affecting options.
+func RunPreparedContext(ctx context.Context, e Engine, pl *Prepared, sink Sink) (Stats, error) {
+	pe, ok := e.(PlanEngine)
+	if !ok {
+		return Stats{}, fmt.Errorf("progxe: engine %s cannot run prepared plans", e.Name())
+	}
+	return pe.RunPlanContext(ctx, pl, sink)
 }
 
 // Relational substrate types.
