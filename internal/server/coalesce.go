@@ -24,6 +24,7 @@ type coalesceKey struct {
 	limit         int
 	workers       int // granted after clamping
 	committers    int // granted after clamping
+	speculate     int // granted after clamping
 	timeoutMillis int64
 }
 
@@ -324,7 +325,7 @@ func (s *Server) runCoalesced(g *runGroup, rs runSpec) {
 	g.mu.Unlock()
 	rec := s.finishRun(runResult{
 		runID: rs.runID, engineName: rs.engineName, query: rs.query,
-		workers: rs.workers, committers: rs.committers,
+		workers: rs.workers, committers: rs.committers, speculate: rs.speculate,
 		cached: rs.cached, fanout: fanout,
 		start: start, elapsed: elapsed, ttfr: ttfr,
 		seq: seq, limitHit: limitHit, runErr: runErr,

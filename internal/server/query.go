@@ -48,6 +48,15 @@ type QueryRequest struct {
 	// 0 and "no parallelism" coincide), a negative committer count has no
 	// meaningful reading. 0 (the default) keeps commit on the sequencer.
 	Committers int `json:"committers,omitempty"`
+	// Speculate requests cross-round speculative pipelining up to this many
+	// rounds ahead (ProgXe engines only; effective only with workers ≥ 2
+	// and committers ≥ 1): upcoming rounds' phase-1 prechecks run against a
+	// stale snapshot while commits drain, with survivors revalidated
+	// against per-round deltas. The value is clamped to the server's
+	// MaxRunSpeculate cap. Like workers and committers, this never changes
+	// the result stream. Negative values are rejected with 400. 0 (the
+	// default) drains before every precheck.
+	Speculate int `json:"speculate,omitempty"`
 	// Ranker selects the progressive scheduler's benefit model (ProgXe
 	// engines only): "benefit-cost" (the default, Equation 8 with exact
 	// ProgCount) or "cardinality" (O(1) refreshes that skip ProgCount).
@@ -70,6 +79,7 @@ type runRecord struct {
 	Dims       []string `json:"dims"`
 	Workers    int      `json:"workers,omitempty"`
 	Committers int      `json:"committers,omitempty"`
+	Speculate  int      `json:"speculate,omitempty"`
 	// Cached reports that this run reused a compiled plan from the plan
 	// cache, skipping the partition / region-build / prune phases.
 	Cached bool `json:"cached,omitempty"`
@@ -209,10 +219,11 @@ func (s *Server) resolveTimeout(reqMillis int64) time.Duration {
 	return timeout
 }
 
-// clampParallelism grants the request's worker and committer counts under
-// the server caps. Committers are zeroed on serial runs: the engine would
+// clampParallelism grants the request's worker, committer, and speculation
+// counts under the server caps. Committers are zeroed on serial runs and
+// speculation on non-partitioned or single-lane ones: the engine would
 // ignore them, and granted-equals-effective keeps run records honest.
-func (s *Server) clampParallelism(reqWorkers, reqCommitters int) (workers, committers int) {
+func (s *Server) clampParallelism(reqWorkers, reqCommitters, reqSpeculate int) (workers, committers, speculate int) {
 	workers = reqWorkers
 	if workers < 0 {
 		workers = 0
@@ -227,7 +238,16 @@ func (s *Server) clampParallelism(reqWorkers, reqCommitters int) (workers, commi
 	if workers == 0 {
 		committers = 0
 	}
-	return workers, committers
+	speculate = reqSpeculate
+	if speculate > s.cfg.MaxRunSpeculate {
+		speculate = s.cfg.MaxRunSpeculate
+	}
+	if committers == 0 || workers < 2 {
+		// The engine ignores speculation without a spare precheck lane to
+		// run the stale scans on; zeroing here keeps records honest.
+		speculate = 0
+	}
+	return workers, committers, speculate
 }
 
 // planFor resolves the compiled plan for key. With useCache, the plan cache
@@ -281,19 +301,19 @@ func (s *Server) planFor(key planKey, engine smj.Engine, q *query.Query, left, r
 // stats trailer, metrics, and the run log — shared by the solo and the
 // coalesced execution paths.
 type runResult struct {
-	runID, engineName, query string
-	workers, committers      int
-	cached                   bool
-	fanout                   int // subscribers ever attached; 0 = uncoalesced
-	start                    time.Time
-	elapsed, ttfr            time.Duration
-	seq                      int
-	limitHit                 bool
-	runErr                   error
-	progress                 obs.Quantiles
-	phases                   obs.Report
-	engineStats              smj.Stats
-	trace                    []byte
+	runID, engineName, query       string
+	workers, committers, speculate int
+	cached                         bool
+	fanout                         int // subscribers ever attached; 0 = uncoalesced
+	start                          time.Time
+	elapsed, ttfr                  time.Duration
+	seq                            int
+	limitHit                       bool
+	runErr                         error
+	progress                       obs.Quantiles
+	phases                         obs.Report
+	engineStats                    smj.Stats
+	trace                          []byte
 }
 
 // finishRun settles a completed engine run: outcome classification, the
@@ -344,7 +364,7 @@ func (s *Server) finishRun(res runResult) statsRecord {
 	}
 	s.runlog.add(RunRecord{
 		ID: res.runID, Engine: res.engineName, Query: truncate(res.query, 512),
-		Workers: res.workers, Committers: res.committers, Start: res.start,
+		Workers: res.workers, Committers: res.committers, Speculate: res.speculate, Start: res.start,
 		ElapsedMillis: rec.ElapsedMillis,
 		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
 		Results: res.seq, Cached: res.cached, Subscribers: res.fanout,
@@ -410,6 +430,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "committers must be >= 0, got %d", req.Committers)
 		return
 	}
+	if req.Speculate < 0 {
+		writeError(w, http.StatusBadRequest, "speculate must be >= 0, got %d", req.Speculate)
+		return
+	}
 	ranker, err := core.ParseRanker(req.Ranker)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -435,14 +459,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := s.resolveTimeout(req.TimeoutMillis)
-	workers, committers := s.clampParallelism(req.Workers, req.Committers)
+	workers, committers, speculate := s.clampParallelism(req.Workers, req.Committers, req.Speculate)
 	key := planKey{
 		engine: strings.ToLower(engineName), query: q.String(),
 		leftVer: leftVer, rightVer: rightVer,
 	}
 
 	if s.coal != nil && !req.Trace {
-		s.handleCoalesced(w, r, req, sse, engineName, ranker, q, key, left, right, timeout, workers, committers)
+		s.handleCoalesced(w, r, req, sse, engineName, ranker, q, key, left, right, timeout, workers, committers, speculate)
 		return
 	}
 
@@ -511,6 +535,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if committers > 0 {
 		ctx = smj.WithCommitters(ctx, committers)
 	}
+	if speculate > 0 {
+		ctx = smj.WithSpeculate(ctx, speculate)
+	}
 	// Service shutdown aborts in-flight runs so graceful drains finish
 	// within their window instead of waiting out every stream.
 	defer context.AfterFunc(s.runCtx, cancelRun)()
@@ -525,7 +552,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(), Workers: workers, Committers: committers, Cached: cached})
+	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(), Workers: workers, Committers: committers, Speculate: speculate, Cached: cached})
 
 	s.metrics.runStarted()
 	start := time.Now()
@@ -583,7 +610,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := s.finishRun(runResult{
 		runID: runID, engineName: engine.Name(), query: req.Query,
-		workers: workers, committers: committers, cached: cached,
+		workers: workers, committers: committers, speculate: speculate, cached: cached,
 		start: start, elapsed: elapsed, ttfr: ttfr,
 		seq: seq, limitHit: limitHit, runErr: runErr,
 		progress: timeline.Quantiles(), phases: prof.Report(),
@@ -599,11 +626,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // then streams the same byte-identical records from the group's replay ring.
 func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req QueryRequest, sse bool,
 	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
-	left, right *relation.Relation, timeout time.Duration, workers, committers int) {
+	left, right *relation.Relation, timeout time.Duration, workers, committers, speculate int) {
 
 	ckey := coalesceKey{
 		plan: key, ranker: ranker, limit: req.Limit,
-		workers: workers, committers: committers,
+		workers: workers, committers: committers, speculate: speculate,
 		timeoutMillis: int64(timeout / time.Millisecond),
 	}
 	g, leader, ok := s.coal.joinOrLead(ckey, s.adm, s.metrics.coalescedAttach)
@@ -615,7 +642,7 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req Que
 		return
 	}
 	if leader {
-		s.startCoalesced(g, req, engineName, ranker, q, key, left, right, timeout, workers, committers)
+		s.startCoalesced(g, req, engineName, ranker, q, key, left, right, timeout, workers, committers, speculate)
 	}
 	s.streamGroup(w, r, g, sse)
 }
@@ -626,7 +653,7 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req Que
 // error: every subscriber (the leader included) reports it identically.
 func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
-	left, right *relation.Relation, timeout time.Duration, workers, committers int) {
+	left, right *relation.Relation, timeout time.Duration, workers, committers, speculate int) {
 
 	// Until the run goroutine owns the group, every exit — error or panic —
 	// must resolve the group and return the admission slot it holds.
@@ -675,6 +702,9 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 	if committers > 0 {
 		ctx = smj.WithCommitters(ctx, committers)
 	}
+	if speculate > 0 {
+		ctx = smj.WithSpeculate(ctx, speculate)
+	}
 	g.mu.Lock()
 	g.cancel = func() { cancelRun(); cancelT() }
 	g.mu.Unlock()
@@ -682,11 +712,11 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 	runID := s.runlog.newID()
 	g.appendJSON("run", runRecord{
 		Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(),
-		Workers: workers, Committers: committers, Cached: cached,
+		Workers: workers, Committers: committers, Speculate: speculate, Cached: cached,
 	})
 	go s.runCoalesced(g, runSpec{
 		runID: runID, engineName: engine.Name(), query: req.Query,
-		workers: workers, committers: committers, limit: req.Limit,
+		workers: workers, committers: committers, speculate: speculate, limit: req.Limit,
 		cached: cached, prof: prof,
 		run: func(sink smj.Sink) (smj.Stats, error) {
 			defer cancelRun()
@@ -702,12 +732,12 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 
 // runSpec is what the coalesced run goroutine needs from leader setup.
 type runSpec struct {
-	runID, engineName, query string
-	workers, committers      int
-	limit                    int
-	cached                   bool
-	prof                     *obs.Profiler
-	run                      func(smj.Sink) (smj.Stats, error)
+	runID, engineName, query       string
+	workers, committers, speculate int
+	limit                          int
+	cached                         bool
+	prof                           *obs.Profiler
+	run                            func(smj.Sink) (smj.Stats, error)
 }
 
 // truncate caps a string kept in the run log.

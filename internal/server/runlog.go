@@ -18,6 +18,7 @@ type RunRecord struct {
 	Query         string    `json:"query,omitempty"`
 	Workers       int       `json:"workers,omitempty"`
 	Committers    int       `json:"committers,omitempty"`
+	Speculate     int       `json:"speculate,omitempty"`
 	Start         time.Time `json:"start"`
 	ElapsedMillis float64   `json:"elapsedMillis"`
 	Outcome       string    `json:"outcome"` // completed | canceled | failed

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSpeculateQueryMatchesSerial drives the per-request speculate knob end
+// to end: a speculatively pipelined run must stream the byte-identical
+// result sequence of a serial run, and the run record must echo the granted
+// (clamped) speculation depth.
+func TestSpeculateQueryMatchesSerial(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxRunWorkers: 2, MaxRunCommitters: 2, MaxRunSpeculate: 2})
+	q := e2eWorkload(t, ts)
+
+	collect := func(req QueryRequest) (run map[string]any, results []map[string]any) {
+		t.Helper()
+		resp := postQuery(t, ts, req)
+		defer resp.Body.Close()
+		recs := decodeNDJSON(t, resp.Body)
+		if recs[0]["type"] != "run" {
+			t.Fatalf("stream starts with %v", recs[0])
+		}
+		last := recs[len(recs)-1]
+		if last["type"] != "stats" || last["error"] != nil {
+			t.Fatalf("stats trailer = %v", last)
+		}
+		return recs[0], recs[1 : len(recs)-1]
+	}
+
+	serialRun, serial := collect(QueryRequest{Query: q, Engine: "progxe"})
+	if sp, ok := serialRun["speculate"]; ok && sp != float64(0) {
+		t.Fatalf("serial run record advertises speculate=%v", sp)
+	}
+
+	// Ask for more than the cap: clamped to MaxRunSpeculate, echoed back.
+	specRun, pipelined := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 2, Speculate: 64})
+	if specRun["speculate"] != float64(2) {
+		t.Fatalf("run record speculate = %v, want 2 (clamped)", specRun["speculate"])
+	}
+	if specRun["workers"] != float64(2) || specRun["committers"] != float64(2) {
+		t.Fatalf("run record workers=%v committers=%v, want 2/2", specRun["workers"], specRun["committers"])
+	}
+
+	if len(serial) != len(pipelined) || len(serial) == 0 {
+		t.Fatalf("result counts differ: serial %d, pipelined %d", len(serial), len(pipelined))
+	}
+	for i := range serial {
+		s, p := serial[i], pipelined[i]
+		if s["leftId"] != p["leftId"] || s["rightId"] != p["rightId"] ||
+			fmt.Sprint(s["out"]) != fmt.Sprint(p["out"]) {
+			t.Fatalf("result %d diverges: serial %v, pipelined %v", i, s, p)
+		}
+	}
+
+	// Speculation without committers: rounds cannot pipeline past a commit
+	// stage that lives on the sequencer — granted 0 and echoed as absent,
+	// never silently half-applied.
+	soloRun, solo := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Speculate: 2})
+	if sp, ok := soloRun["speculate"]; ok && sp != float64(0) {
+		t.Fatalf("non-partitioned run granted speculate=%v", sp)
+	}
+	if len(solo) != len(serial) {
+		t.Fatalf("speculate-only run emitted %d results, want %d", len(solo), len(serial))
+	}
+
+	// The run log (and thus /v1/runs/{id}) mirrors the grant.
+	runID, _ := specRun["id"].(string)
+	rec, ok := srv.runlog.get(runID)
+	if !ok {
+		t.Fatalf("run %q not in the run log", runID)
+	}
+	if rec.Speculate != 2 || rec.Committers != 2 || rec.Workers != 2 {
+		t.Fatalf("run log records workers=%d committers=%d speculate=%d, want 2/2/2",
+			rec.Workers, rec.Committers, rec.Speculate)
+	}
+}
+
+// TestSpeculateQueryRejectsNegative pins the 400 path: a negative speculation
+// depth is a malformed request, not a clamp-to-zero.
+func TestSpeculateQueryRejectsNegative(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 2, Speculate: -1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative speculate returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMaxRunSpeculateDisabled verifies that a negative server cap turns the
+// knob off entirely: every round drains before its precheck.
+func TestMaxRunSpeculateDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRunSpeculate: -1})
+	q := e2eWorkload(t, ts)
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 2, Speculate: 8})
+	defer resp.Body.Close()
+	recs := decodeNDJSON(t, resp.Body)
+	if sp, ok := recs[0]["speculate"]; ok && sp != float64(0) {
+		t.Fatalf("disabled cap still granted speculate=%v", sp)
+	}
+	if recs[len(recs)-1]["error"] != nil {
+		t.Fatalf("run failed: %v", recs[len(recs)-1])
+	}
+}
