@@ -274,7 +274,8 @@ func fire(client *http.Client, baseURL, query string) reqResult {
 			Cached      bool       `json:"cached"`
 			Subscribers int        `json:"subscribers"`
 			Results     int        `json:"results"`
-			Error       string     `json:"error"`
+			Error       string     `json:"error"`   // stats-record run error
+			Message     string     `json:"message"` // structured in-stream error records
 			Phases      obs.Report `json:"phases"`
 		}
 		if err := json.Unmarshal(line, &rec); err != nil {
@@ -288,7 +289,7 @@ func fire(client *http.Client, baseURL, query string) reqResult {
 			}
 			res.results++
 		case "error":
-			res.err = fmt.Errorf("stream error: %s", rec.Error)
+			res.err = fmt.Errorf("stream error: %s", rec.Message)
 			return res
 		case "stats":
 			res.cached = rec.Cached

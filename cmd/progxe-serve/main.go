@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"progxe/internal/datagen"
+	"progxe/internal/feed"
 	"progxe/internal/relation"
 	"progxe/internal/server"
 )
@@ -67,9 +68,14 @@ func run(args []string, ready chan<- string) error {
 		planCache  = fs.Int("plan-cache", 0, "compiled query plans cached across runs (0 = default 128, negative = disabled)")
 		coalesce   = fs.Int("coalesce", server.DefaultCoalesceReplay, "replay-buffer records per coalesced run; concurrent identical queries share one engine run (0 or negative = disabled)")
 		loads      []string
+		follows    []string
 	)
 	fs.Func("load", "preload a relation from CSV as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
+		return nil
+	})
+	fs.Func("follow", "tail a change-log file (NDJSON or CSV change lines) into a relation as name=path (repeatable); appended inserts/deletes feed live subscriptions", func(v string) error {
+		follows = append(follows, v)
 		return nil
 	})
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +144,45 @@ func run(args []string, ready chan<- string) error {
 		fmt.Fprintf(os.Stderr, "progxe-serve: loaded %s (%d rows) from %s\n", name, rel.Len(), path)
 	}
 
+	// File-tailing change connectors: each -follow spawns a feed.TailSource
+	// whose changes are applied to the catalog (and fanned out to live
+	// subscriptions) as they are appended. Bad lines and rejected changes are
+	// logged and skipped — a feed file must not be able to stop the tail.
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+	for _, fl := range follows {
+		name, path, ok := strings.Cut(fl, "=")
+		if !ok {
+			return fmt.Errorf("-follow wants name=path, got %q", fl)
+		}
+		src := feed.NewTailSource(path, 0)
+		fmt.Fprintf(os.Stderr, "progxe-serve: following %s into %s\n", path, name)
+		go func(name string, src *feed.TailSource) {
+			defer src.Close()
+			for {
+				c, err := src.Next(followCtx)
+				if err != nil {
+					if followCtx.Err() != nil {
+						return
+					}
+					logger.Warn("follow: skipping line", "relation", name, "err", err)
+					select {
+					case <-followCtx.Done():
+						return
+					case <-time.After(feed.DefaultPollInterval):
+					}
+					continue
+				}
+				if c.Relation == "" {
+					c.Relation = name
+				}
+				if _, err := srv.ApplyChange(c); err != nil {
+					logger.Warn("follow: change rejected", "relation", name, "err", err)
+				}
+			}
+		}(name, src)
+	}
+
 	// Profiling endpoint, opt-in and on its own listener so the debug
 	// surface never shares a port with query traffic. Lets hot-path
 	// regressions be profiled against live load:
@@ -178,6 +223,7 @@ func run(args []string, ready chan<- string) error {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		stopFollow()     // stop the change tails before the catalog drains
 		srv.CancelRuns() // abort in-flight streams so the drain can finish
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	smokeLeftCSV  = "id,price,speed,region\n1,10,5,1\n2,20,1,1\n3,5,9,2\n"
+	smokeRightCSV = "id,cost,delay,region\n1,3,2,1\n2,8,1,2\n3,1,7,1\n"
+	smokeQuery    = `SELECT (L.price + R.cost) AS total, (L.speed + R.delay) AS lag
+		FROM L L, R R WHERE L.region = R.region
+		PREFERRING LOWEST(total) AND LOWEST(lag)`
+)
+
+// TestSubscribeSmoke is the binary-level live-query acceptance test: boot
+// progxe-serve with a tailed change file, open a subscription, drive a
+// scripted insert/delete mix through both the file tail and the changes
+// endpoint, and gate on (a) the subscription's net result set equaling a
+// fresh one-shot run over the final catalog and (b) no goroutines leaked
+// after the client detaches.
+func TestSubscribeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	lcsv := filepath.Join(dir, "L.csv")
+	rcsv := filepath.Join(dir, "R.csv")
+	changes := filepath.Join(dir, "changes.ndjson")
+	for path, data := range map[string]string{lcsv: smokeLeftCSV, rcsv: smokeRightCSV, changes: ""} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := startServe(t, "-load", "L="+lcsv, "-load", "R="+rcsv, "-follow", "L="+changes)
+	baseline := runtime.NumGoroutine()
+
+	// Open the subscription and pump its records onto a channel.
+	body, _ := json.Marshal(map[string]any{"query": smokeQuery})
+	resp, err := http.Post(base+"/v1/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+	lines := make(chan map[string]any, 256)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var m map[string]any
+			if json.Unmarshal(bytes.TrimSpace(sc.Bytes()), &m) == nil {
+				lines <- m
+			}
+		}
+	}()
+	next := func() map[string]any {
+		select {
+		case m := <-lines:
+			return m
+		case <-time.After(15 * time.Second):
+			t.Fatalf("timed out waiting for a subscription record")
+			return nil
+		}
+	}
+
+	type pair struct{ l, r int64 }
+	net := map[pair]bool{}
+	checkpoints := 0
+	apply := func(rec map[string]any) {
+		switch rec["type"] {
+		case "result":
+			net[pair{int64(rec["leftId"].(float64)), int64(rec["rightId"].(float64))}] = true
+		case "retract":
+			delete(net, pair{int64(rec["leftId"].(float64)), int64(rec["rightId"].(float64))})
+		case "checkpoint":
+			checkpoints++
+		case "error":
+			t.Fatalf("stream errored: %v", rec)
+		}
+	}
+	if rec := next(); rec["type"] != "run" {
+		t.Fatalf("head record = %v", rec)
+	}
+	for checkpoints == 0 { // snapshot checkpoint
+		apply(next())
+	}
+
+	// Scripted mix: four changes to L through the tailed file, two to R
+	// through the changes endpoint. Distinct relations, so the final catalog
+	// state does not depend on relay timing.
+	f, err := os.OpenFile(changes, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(
+		`{"op":"insert","id":100,"vals":[1,1],"joinKey":1}` + "\n" +
+			"delete,L,1\n" +
+			"insert,L,101,1,30,30\n" +
+			"# a comment the tail must skip\n" +
+			`{"op":"delete","id":100}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	epBody := `{"op":"insert","relation":"R","id":200,"vals":[0,0],"joinKey":1}` + "\n" +
+		`{"op":"delete","relation":"R","id":3}` + "\n"
+	cresp, err := http.Post(base+"/v1/relations/R/changes", "application/x-ndjson", strings.NewReader(epBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr struct {
+		Applied int `json:"applied"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cr.Applied != 2 {
+		t.Fatalf("endpoint applied %d changes, want 2", cr.Applied)
+	}
+
+	// Every applied change to a subscribed relation checkpoints exactly
+	// once: wait for all six, then compare against a fresh run.
+	for checkpoints < 7 { // 1 snapshot + 6 changes
+		apply(next())
+	}
+	oresp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"query":`+string(mustJSON(smokeQuery))+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[pair]bool{}
+	sc := bufio.NewScanner(oresp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m["type"] == "result" {
+			want[pair{int64(m["leftId"].(float64)), int64(m["rightId"].(float64))}] = true
+		}
+		if m["type"] == "stats" && m["error"] != nil {
+			t.Fatalf("oracle run failed: %v", m)
+		}
+	}
+	oresp.Body.Close()
+	if len(want) != len(net) {
+		t.Fatalf("net set %v, fresh run %v", net, want)
+	}
+	for p := range want {
+		if !net[p] {
+			t.Fatalf("pair %v in fresh run but not in net set (net %v)", p, net)
+		}
+	}
+
+	// Detach and verify the subscription goroutines wind down. Idle
+	// keep-alive connections (client persistConn loops plus their server
+	// peers) are torn down explicitly so only real leaks can trip the gate.
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after detach: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -6,8 +6,8 @@ import (
 )
 
 // TestCommittedBaselinesCompareClean pins the trajectory contract on the
-// committed reports themselves: BENCH_7.json (this revision, measured on
-// the same machine as its predecessor) must compare against BENCH_6.json
+// committed reports themselves: BENCH_8.json (this revision, measured on
+// the same machine as its predecessor) must compare against BENCH_7.json
 // without regressions at the CI tolerance, and the comparison must
 // actually cover ProgXe cells (a silently empty comparison would make the
 // CI gate vacuous).
@@ -24,8 +24,8 @@ func TestCommittedBaselinesCompareClean(t *testing.T) {
 		}
 		return r
 	}
-	base := open("../../BENCH_6.json")
-	cur := open("../../BENCH_7.json")
+	base := open("../../BENCH_7.json")
+	cur := open("../../BENCH_8.json")
 	vs := CompareReports(base, cur, 0.2)
 	if len(vs) < 20 {
 		t.Fatalf("only %d comparable cells between committed baselines; the CI gate would be vacuous", len(vs))

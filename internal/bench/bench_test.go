@@ -11,8 +11,8 @@ import (
 
 func TestFiguresRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 19 {
-		t.Fatalf("figure count = %d, want 19 (10a-f, 11a-f, 12a-b, 13a-c, S1, S2)", len(figs))
+	if len(figs) != 20 {
+		t.Fatalf("figure count = %d, want 20 (10a-f, 11a-f, 12a-b, 13a-c, S1, S2, L1)", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -23,7 +23,7 @@ func TestFiguresRegistry(t *testing.T) {
 		if f.Caption == "" || f.Expect == "" {
 			t.Fatalf("figure %s incomplete", f.ID)
 		}
-		if len(f.Engines) == 0 && f.Kind != SchedSetup && f.Kind != PruneSetup {
+		if len(f.Engines) == 0 && f.Kind != SchedSetup && f.Kind != PruneSetup && f.Kind != LiveApply {
 			t.Fatalf("figure %s has no engines", f.ID)
 		}
 		if f.Kind == TotalTime && len(f.Sweep) == 0 {
@@ -169,6 +169,42 @@ func TestRunFigureSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "σ") {
 		t.Fatal("total-time table missing header")
+	}
+}
+
+// TestRunLiveApplySmoke pins the incremental-vs-recompute figure's shape: the
+// three arms run, the apply medians are positive, and at even the smoke scale
+// a resident apply beats recomputing from scratch.
+func TestRunLiveApplySmoke(t *testing.T) {
+	t.Setenv("PROGXE_BENCH_SCALE", "0.1")
+	f, err := FigureByID("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	runs := RunFigure(f, &buf, false, 1)
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want recompute + insert + delete:\n%s", len(runs), buf.String())
+	}
+	byName := map[string]RunResult{}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Engine, r.Err)
+		}
+		byName[r.Engine] = r
+	}
+	recompute := byName["ProgXe (recompute)"]
+	for _, arm := range []string{"LiveSpace (insert apply)", "LiveSpace (delete apply)"} {
+		r, ok := byName[arm]
+		if !ok || r.Total <= 0 {
+			t.Fatalf("arm %q missing or unmeasured:\n%s", arm, buf.String())
+		}
+		if r.Total >= recompute.Total {
+			t.Fatalf("%s median %v not below recompute %v", arm, r.Total, recompute.Total)
+		}
+	}
+	if !strings.Contains(buf.String(), "incremental speedup over recompute") {
+		t.Fatalf("speedup line missing:\n%s", buf.String())
 	}
 }
 

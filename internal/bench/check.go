@@ -75,6 +75,22 @@ func CheckFigure(f Figure, runs []RunResult) []CheckResult {
 				Detail: fmt.Sprintf("total: %v vs %v", px.Total.Round(time.Millisecond), ssmj.Total.Round(time.Millisecond)),
 			})
 		}
+	case f.ID == "L1":
+		recompute, o1 := byName["ProgXe (recompute)"]
+		ins, o2 := byName["LiveSpace (insert apply)"]
+		del, o3 := byName["LiveSpace (delete apply)"]
+		if o1 && o2 && o3 && ins.Total > 0 && del.Total > 0 {
+			insX := float64(recompute.Total) / float64(ins.Total)
+			delX := float64(recompute.Total) / float64(del.Total)
+			out = append(out, CheckResult{
+				Figure: f.ID,
+				Claim:  "median single-tuple apply ≥10× faster than recompute",
+				Holds:  insX >= 10 && delX >= 10,
+				Detail: fmt.Sprintf("recompute %v vs insert %v (%.0f×), delete %v (%.0f×)",
+					recompute.Total.Round(time.Microsecond), ins.Total.Round(time.Microsecond), insX,
+					del.Total.Round(time.Microsecond), delX),
+			})
+		}
 	case f.Kind == TotalTime && (f.ID == "13c" || f.ID == "10f"):
 		// At the highest selectivity the lead engine must beat the last
 		// column engine on anti-correlated data.

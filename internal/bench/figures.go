@@ -30,6 +30,11 @@ const (
 	// candidate set — the companion scaling experiment for the look-ahead's
 	// other quadratic pass.
 	PruneSetup
+	// LiveApply figures compare incremental maintenance against recompute:
+	// single-tuple insert/delete apply latency on a resident LiveSpace vs a
+	// full engine re-run over the mutated snapshot — the economics of the
+	// subscription path (beyond the paper's evaluation).
+	LiveApply
 )
 
 // String names the figure kind the way reports caption it.
@@ -41,6 +46,8 @@ func (k Kind) String() string {
 		return "sched-setup"
 	case PruneSetup:
 		return "prune-setup"
+	case LiveApply:
+		return "live-apply"
 	default:
 		return "progress"
 	}
@@ -172,6 +179,15 @@ func Figures() []Figure {
 		SchedOpts: &fineOpts,
 		Expect:    "box-index pruning at least 5× faster than the all-pairs scan",
 	})
+	// L1: incremental maintenance vs recompute on the Fig 11f cell — the
+	// subscription path's economics (beyond the paper's evaluation).
+	figs = append(figs, Figure{
+		ID:       "L1",
+		Caption:  "Single-tuple apply latency on a resident LiveSpace vs full re-run; anti-correlated, d=4, σ=0.1 (Fig 11f scale)",
+		Kind:     LiveApply,
+		Workload: Workload{N: scaled(1200), Dims: 4, Dist: datagen.AntiCorrelated, Sigma: 0.1, Seed: 12},
+		Expect:   "median apply at least 10× faster than recomputing from scratch (non-cascading applies are far cheaper still)",
+	})
 	return figs
 }
 
@@ -213,6 +229,8 @@ func RunFigure(f Figure, w io.Writer, series bool, repeats int) []RunResult {
 		return runSchedSetup(f, w, repeats)
 	case PruneSetup:
 		return runPruneSetup(f, w, repeats)
+	case LiveApply:
+		return runLiveApply(f, w, repeats)
 	default:
 		return runProgress(f, w, series, repeats)
 	}

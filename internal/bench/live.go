@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"slices"
+	"time"
+
+	"progxe/internal/core"
+	"progxe/internal/mapping"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// Live-maintenance benchmark: the incremental path a subscription takes — a
+// resident core.LiveSpace absorbing single-tuple inserts and deletes — against
+// the alternative of recomputing the whole result set from scratch on every
+// change. The recompute arm is the serial ProgXe engine on the same problem
+// (best of repeats, like every other cell); the apply arms report the median
+// per-change latency over a scripted churn of liveApplyChanges fresh inserts
+// followed by deletes of the same tuples, which returns the space to its
+// initial logical state so every repeat measures the same resident state.
+
+// liveApplyChanges is the per-repeat churn size: enough samples for a stable
+// median, small enough (≈10% of the Fig 11f-scale relation) that the space
+// being measured stays the one the initial run built.
+const liveApplyChanges = 128
+
+// countSink counts the records a LiveSpace emits, so apply arms can report
+// how much output the churn produced.
+type countSink struct{ results, retracts int }
+
+func (s *countSink) Result(smj.Result)  { s.results++ }
+func (s *countSink) Retract(_, _ int64) { s.retracts++ }
+
+// medianDuration returns the median of the samples (0 if none).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := slices.Clone(ds)
+	slices.Sort(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// runLiveApply executes the incremental-vs-recompute figure: one full engine
+// run (the recompute arm), then repeats rounds of timed single-tuple applies
+// on a resident LiveSpace (the insert and delete arms).
+func runLiveApply(f Figure, w io.Writer, repeats int) []RunResult {
+	p, err := f.Workload.Problem()
+	if err != nil {
+		fmt.Fprintf(w, "! workload error: %v\n", err)
+		return nil
+	}
+
+	recompute := runBest(progxeSpec("ProgXe (recompute)", core.Options{}), f.Workload, p, repeats)
+	if recompute.Err != nil {
+		fmt.Fprintf(w, "! recompute error: %v\n", recompute.Err)
+		return nil
+	}
+	fmt.Fprintln(w, recompute.Summary())
+
+	buildStart := time.Now()
+	ls, err := core.NewLiveSpace(p)
+	if err != nil {
+		fmt.Fprintf(w, "! live space error: %v\n", err)
+		return []RunResult{recompute}
+	}
+	build := time.Since(buildStart)
+	fmt.Fprintf(w, "# resident space built in %v (%d results)\n",
+		build.Round(time.Microsecond), len(ls.Results()))
+
+	// Scripted churn, identical across repeats: fresh left-side tuples whose
+	// join keys are mostly sampled from the right side (so applies hit real
+	// partners and some cascade) with a fresh-key minority (no-partner
+	// applies). Each repeat inserts all of them, then deletes them again.
+	rng := rand.New(rand.NewPCG(f.Workload.Seed, 0x11f))
+	arity := len(p.Left.Schema.Attrs)
+	churn := make([]relation.Tuple, liveApplyChanges)
+	for i := range churn {
+		vals := make([]float64, arity)
+		for j := range vals {
+			vals[j] = rng.Float64()
+		}
+		key := int64(rng.IntN(1 << 20))
+		if rng.Float64() < 0.75 && p.Right.Len() > 0 {
+			key = p.Right.Tuples[rng.IntN(p.Right.Len())].JoinKey
+		}
+		churn[i] = relation.Tuple{ID: int64(10_000_000 + i), Vals: vals, JoinKey: key}
+	}
+
+	sink := &countSink{}
+	var insertLat, deleteLat []time.Duration
+	for rep := 0; rep < repeats; rep++ {
+		for _, t := range churn {
+			start := time.Now()
+			err := ls.ApplyInsert(mapping.Left, t, sink)
+			insertLat = append(insertLat, time.Since(start))
+			if err != nil {
+				fmt.Fprintf(w, "! insert apply error: %v\n", err)
+				return []RunResult{recompute}
+			}
+		}
+		for _, t := range churn {
+			start := time.Now()
+			err := ls.ApplyDelete(mapping.Left, t.ID, sink)
+			deleteLat = append(deleteLat, time.Since(start))
+			if err != nil {
+				fmt.Fprintf(w, "! delete apply error: %v\n", err)
+				return []RunResult{recompute}
+			}
+		}
+	}
+
+	insertMed, deleteMed := medianDuration(insertLat), medianDuration(deleteLat)
+	out := []RunResult{
+		recompute,
+		{Engine: "LiveSpace (insert apply)", Workload: f.Workload, Total: insertMed, Results: sink.results},
+		{Engine: "LiveSpace (delete apply)", Workload: f.Workload, Total: deleteMed, Results: sink.retracts},
+	}
+	fmt.Fprintf(w, "%-26s median=%-12v samples=%d emitted=%d\n",
+		"LiveSpace (insert apply)", insertMed.Round(time.Nanosecond), len(insertLat), sink.results)
+	fmt.Fprintf(w, "%-26s median=%-12v samples=%d retracted=%d\n",
+		"LiveSpace (delete apply)", deleteMed.Round(time.Nanosecond), len(deleteLat), sink.retracts)
+	if insertMed > 0 && deleteMed > 0 {
+		fmt.Fprintf(w, "# incremental speedup over recompute: insert %.0f×, delete %.0f×\n",
+			float64(recompute.Total)/float64(insertMed),
+			float64(recompute.Total)/float64(deleteMed))
+	}
+	return out
+}

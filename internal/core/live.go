@@ -1,0 +1,663 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"progxe/internal/grid"
+	"progxe/internal/mapping"
+	"progxe/internal/preference"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// This file implements incremental output-space maintenance: a LiveSpace
+// keeps a completed run's survivor state resident and applies a change feed
+// of base-relation inserts and deletes, emitting result records for tuples
+// that join the skyline and retract records for tuples that leave it.
+//
+// The correctness model is the batch engine's, held under mutation:
+//
+//   - survivors (alive tuples) are exactly the skyline over every currently
+//     mapped join output;
+//   - dominated (dead) tuples stay resident, because a later delete of their
+//     dominators may promote them back.
+//
+// Two invariants carry every proof below. (1) Every dead tuple is dominated
+// by at least one alive tuple: true when it dies (it was beaten by a
+// survivor), and preserved when its dominator w is itself evicted by a new
+// v, since DominatesMin is transitive (v ≤ w ≤ u with strictness inherited).
+// (2) A dominator's coordinate sum is strictly smaller than its victim's
+// (all-≤ plus strict-somewhere), so sum-sorted cell buffers admit one-sided
+// scan cutoffs in both directions, and promotion candidates processed in
+// ascending (sum, seq) order can never dominate an already-promoted tuple.
+
+// LiveSink receives the incremental output of a LiveSpace. Result delivers a
+// tuple entering the net result set; Retract withdraws a previously
+// delivered pair. Implementations must not retain r.Out.
+type LiveSink interface {
+	Result(r smj.Result)
+	Retract(leftID, rightID int64)
+}
+
+// LiveStats counts the work a LiveSpace has performed since construction.
+type LiveStats struct {
+	Inserts     int // base-tuple inserts applied
+	Deletes     int // base-tuple deletes applied
+	Results     int // result emissions (snapshot included)
+	Retractions int // retract emissions
+	Promotions  int // dead tuples promoted back by deletes
+	Comparisons int // tuple-level dominance tests
+}
+
+// liveTuple is one mapped join output resident in the space. v is the
+// canonical (all-minimized) output vector; alive marks skyline membership.
+//
+// Every dead tuple carries a referee: one alive tuple that dominates it (ref,
+// with refIdx its slot in the referee's deps list for O(1) detach). The
+// referee relation inverts invariant (1) into an index — a dead tuple can
+// need promotion only when its referee leaves the alive set, so a delete
+// re-checks just the dependents of the survivors it removed instead of
+// sweeping the dominated orthant of every one.
+type liveTuple struct {
+	leftID, rightID int64
+	v               []float64
+	sum             float64
+	seq             int64 // arrival order, tiebreak for equal sums
+	alive           bool
+
+	ref    *liveTuple   // alive dominator refereeing this dead tuple
+	refIdx int          // index of this tuple in ref.deps
+	deps   []*liveTuple // dead tuples this alive tuple referees
+}
+
+// attach makes alive tuple w the referee of dead tuple u.
+func attach(w, u *liveTuple) {
+	u.ref = w
+	u.refIdx = len(w.deps)
+	w.deps = append(w.deps, u)
+}
+
+// detach removes u from its referee's dependent list (swap-remove).
+func detach(u *liveTuple) {
+	w := u.ref
+	if w == nil {
+		return
+	}
+	last := len(w.deps) - 1
+	moved := w.deps[last]
+	w.deps[u.refIdx] = moved
+	moved.refIdx = u.refIdx
+	w.deps = w.deps[:last]
+	u.ref = nil
+}
+
+// liveCell is one populated output-space cell. The alive (skyline) and dead
+// (dominated) populations live in separate buffers, each sorted ascending by
+// (sum, seq): alive scans (dominance checks, eviction sweeps, promotion
+// re-checks) never step over the dead majority, and dead scans (promotion
+// candidate sweeps) never step over survivors. Componentwise min/max
+// summaries over the alive buffer give O(d) scan refutation.
+type liveCell struct {
+	flat   int
+	coords []int
+	minV   []float64 // over alive tuples; valid when len(alive) > 0
+	maxV   []float64
+	alive  []*liveTuple
+	dead   []*liveTuple
+	// dom/vic cache the cell-level dominance adjacency: dom holds every cell
+	// whose coords are ≤ ours componentwise (where dominators can live), vic
+	// every cell with coords ≥ ours (where victims and promotion candidates
+	// can live); both include the cell itself. domN/vicN record len(cellList)
+	// when the list was last extended — new cells are appended lazily, so
+	// keeping a list current is O(cells created since), not O(all cells).
+	dom  []*liveCell
+	vic  []*liveCell
+	domN int
+	vicN int
+}
+
+// firstSumAbove returns the index of the first tuple in ts with sum > s.
+func firstSumAbove(ts []*liveTuple, s float64) int {
+	return sort.Search(len(ts), func(i int) bool { return ts[i].sum > s })
+}
+
+// insertByRank adds t to the (sum, seq)-sorted buffer ts.
+func insertByRank(ts []*liveTuple, t *liveTuple) []*liveTuple {
+	at := sort.Search(len(ts), func(i int) bool {
+		o := ts[i]
+		return o.sum > t.sum || (o.sum == t.sum && o.seq > t.seq)
+	})
+	return slices.Insert(ts, at, t)
+}
+
+// refresh recomputes the alive-subset summaries from scratch.
+func (c *liveCell) refresh(d int) {
+	for n, t := range c.alive {
+		if n == 0 {
+			copy(c.minV, t.v)
+			copy(c.maxV, t.v)
+			continue
+		}
+		for i := 0; i < d; i++ {
+			c.minV[i] = math.Min(c.minV[i], t.v[i])
+			c.maxV[i] = math.Max(c.maxV[i], t.v[i])
+		}
+	}
+}
+
+// widen grows the alive summaries to cover t (which must already be counted
+// in c.alive).
+func (c *liveCell) widen(t *liveTuple, d int) {
+	if len(c.alive) == 1 {
+		copy(c.minV, t.v)
+		copy(c.maxV, t.v)
+		return
+	}
+	for i := 0; i < d; i++ {
+		c.minV[i] = math.Min(c.minV[i], t.v[i])
+		c.maxV[i] = math.Max(c.maxV[i], t.v[i])
+	}
+}
+
+// LiveSpace is the resident incremental-maintenance state for one query: the
+// base relations, their join index, and the output-space cells holding every
+// mapped tuple that has ever survived or been dominated.
+//
+// LiveSpace is not safe for concurrent use; the serve layer runs one
+// goroutine per subscription.
+type LiveSpace struct {
+	pref *preference.Pareto // original orientation, for decanonicalization
+	maps interface {
+		Map(left, right, dst []float64) []float64
+	} // canonical mapping set (HIGHEST dims pre-negated)
+	d int
+	g *grid.Grid
+
+	cells    map[int]*liveCell
+	cellList []*liveCell
+
+	base    [2]map[int64]relation.Tuple // resident base tuples per side
+	byKey   [2]map[int64][]int64        // join key → base IDs, per side
+	byBase  [2]map[int64][]*liveTuple   // base ID → mapped tuples it is part of
+	nextSeq int64
+
+	stats LiveStats
+}
+
+// liveGridCells caps the per-dimension resolution of the maintenance grid so
+// the cell count stays bounded at any dimensionality. The cap is deliberately
+// coarse: every populated cell carries fixed per-scan overhead (adjacency
+// walk, binary-search cutoff), so fat cells with effective summary refutation
+// beat many near-empty ones.
+func liveGridCells(d int) int {
+	k := 16
+	for k > 2 && math.Pow(float64(k), float64(d)) > 1<<12 {
+		k--
+	}
+	return k
+}
+
+// NewLiveSpace builds the resident state for p: it bounds the output grid
+// from the initial join's mapped outputs, then routes every initial tuple
+// through the same insert protocol a feed change takes, so the invariants
+// hold from the first change onward. The initial net result set is available
+// via Results or Snapshot; construction itself emits nothing.
+func NewLiveSpace(p *smj.Problem) (*LiveSpace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := p.Canonicalized()
+	if err != nil {
+		return nil, err
+	}
+	d := cp.Maps.Dims()
+	ls := &LiveSpace{
+		pref:  p.Pref,
+		maps:  cp.Maps,
+		d:     d,
+		cells: make(map[int]*liveCell),
+	}
+	for s := 0; s < 2; s++ {
+		ls.base[s] = make(map[int64]relation.Tuple)
+		ls.byKey[s] = make(map[int64][]int64)
+		ls.byBase[s] = make(map[int64][]*liveTuple)
+	}
+
+	// Bound the grid from the initial mapped outputs. Later inserts may
+	// fall outside: grid.Coord clamps monotonically, so componentwise
+	// vector order still implies componentwise cell-coordinate order and
+	// every orthant scan below stays sound.
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	dst := make([]float64, d)
+	byKey := make(map[int64][]relation.Tuple, len(cp.Right.Tuples))
+	for _, rt := range cp.Right.Tuples {
+		byKey[rt.JoinKey] = append(byKey[rt.JoinKey], rt)
+	}
+	for _, lt := range cp.Left.Tuples {
+		for _, rt := range byKey[lt.JoinKey] {
+			ls.maps.Map(lt.Vals, rt.Vals, dst)
+			for i, v := range dst {
+				lo[i] = math.Min(lo[i], v)
+				hi[i] = math.Max(hi[i], v)
+			}
+		}
+	}
+	for i := range lo {
+		if lo[i] > hi[i] { // empty initial join: any finite box works
+			lo[i], hi[i] = 0, 1
+		}
+	}
+	b, err := grid.NewBounds(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	k := make([]int, d)
+	for i := range k {
+		k[i] = liveGridCells(d)
+	}
+	g, err := grid.New(b, k)
+	if err != nil {
+		return nil, err
+	}
+	ls.g = g
+
+	// Replay the initial relations through the live insert path: all left
+	// tuples first (no partners yet, so no mapped outputs), then each
+	// right tuple joins against the full left side — every initial pair
+	// is materialized exactly once, under the maintenance invariants.
+	for _, lt := range cp.Left.Tuples {
+		if err := ls.ApplyInsert(mapping.Left, lt, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, rt := range cp.Right.Tuples {
+		if err := ls.ApplyInsert(mapping.Right, rt, nil); err != nil {
+			return nil, err
+		}
+	}
+	ls.stats = LiveStats{} // construction is not feed work
+	return ls, nil
+}
+
+// Dims returns the output-space dimensionality.
+func (ls *LiveSpace) Dims() int { return ls.d }
+
+// Stats returns the work counters accumulated since construction.
+func (ls *LiveSpace) Stats() LiveStats { return ls.stats }
+
+// Has reports whether a base tuple with the given ID is resident on side.
+func (ls *LiveSpace) Has(side mapping.Side, id int64) bool {
+	_, ok := ls.base[side][id]
+	return ok
+}
+
+// cellFor returns (creating if needed) the cell containing canonical vector v.
+func (ls *LiveSpace) cellFor(v []float64) *liveCell {
+	flat := ls.g.CellOf(v)
+	if c, ok := ls.cells[flat]; ok {
+		return c
+	}
+	c := &liveCell{
+		flat:   flat,
+		coords: ls.g.Coords(flat, make([]int, ls.d)),
+		minV:   make([]float64, ls.d),
+		maxV:   make([]float64, ls.d),
+	}
+	ls.cells[flat] = c
+	ls.cellList = append(ls.cellList, c)
+	return c
+}
+
+// coordsLE reports a ≤ b componentwise.
+func coordsLE(a, b []int) bool {
+	for i, av := range a {
+		if av > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// domCells returns the cells where dominators of tuples in c can live (coords
+// ≤ c's, including c itself), extending the cached list over cells created
+// since it was last current.
+func (ls *LiveSpace) domCells(c *liveCell) []*liveCell {
+	for _, n := range ls.cellList[c.domN:] {
+		if coordsLE(n.coords, c.coords) {
+			c.dom = append(c.dom, n)
+		}
+	}
+	c.domN = len(ls.cellList)
+	return c.dom
+}
+
+// vicCells returns the cells where victims and promotion candidates of tuples
+// in c can live (coords ≥ c's, including c itself), extending the cached list
+// like domCells.
+func (ls *LiveSpace) vicCells(c *liveCell) []*liveCell {
+	for _, n := range ls.cellList[c.vicN:] {
+		if coordsLE(c.coords, n.coords) {
+			c.vic = append(c.vic, n)
+		}
+	}
+	c.vicN = len(ls.cellList)
+	return c.vic
+}
+
+// dominated returns an alive tuple dominating canonical vector v (sum s,
+// living in cell home), or nil — the witness becomes the referee when the
+// caller demotes. Candidate cells are home's cached dominator cells; within a
+// cell the alive-min summary refutes in O(d) and the sum-sorted buffer is
+// scanned only while sums stay strictly below s (a dominator's sum is
+// strictly smaller).
+func (ls *LiveSpace) dominated(home *liveCell, v []float64, s float64) *liveTuple {
+cells:
+	for _, c := range ls.domCells(home) {
+		if len(c.alive) == 0 {
+			continue
+		}
+		for i := 0; i < ls.d; i++ {
+			if c.minV[i] > v[i] {
+				continue cells // no alive tuple here can be ≤ v everywhere
+			}
+		}
+		for _, t := range c.alive {
+			if t.sum >= s {
+				break
+			}
+			ls.stats.Comparisons++
+			if preference.DominatesMin(t.v, v) {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// evict retracts every alive tuple the new tuple nt dominates, demoting each
+// to dead with nt as referee; each victim's own dependents transfer to nt
+// (transitivity keeps their referee a dominator). Victim cells are home's
+// cached victim cells; within a cell the alive-max summary refutes and only
+// tuples with sum > nt.sum are candidates.
+func (ls *LiveSpace) evict(home *liveCell, nt *liveTuple, sink LiveSink) {
+	v, s := nt.v, nt.sum
+cells:
+	for _, c := range ls.vicCells(home) {
+		if len(c.alive) == 0 {
+			continue
+		}
+		for i := 0; i < ls.d; i++ {
+			if v[i] > c.maxV[i] {
+				continue cells // v exceeds every alive tuple here somewhere
+			}
+		}
+		demoted := false
+		for _, t := range c.alive[firstSumAbove(c.alive, s):] {
+			ls.stats.Comparisons++
+			if preference.DominatesMin(v, t.v) {
+				t.alive = false
+				demoted = true
+				ls.retract(t, sink)
+			}
+		}
+		if demoted {
+			var victims []*liveTuple
+			c.alive = slices.DeleteFunc(c.alive, func(t *liveTuple) bool {
+				if t.alive {
+					return false
+				}
+				victims = append(victims, t)
+				return true
+			})
+			for _, t := range victims {
+				for _, u := range t.deps {
+					u.ref = nt
+					u.refIdx = len(nt.deps)
+					nt.deps = append(nt.deps, u)
+				}
+				t.deps = nil
+				attach(nt, t)
+				c.dead = insertByRank(c.dead, t)
+			}
+			c.refresh(ls.d)
+		}
+	}
+}
+
+// place routes one freshly mapped tuple through the insert protocol: it dies
+// into its cell if dominated, otherwise it evicts its victims, joins the
+// alive set, and is emitted.
+func (ls *LiveSpace) place(t *liveTuple, sink LiveSink) {
+	c := ls.cellFor(t.v)
+	if w := ls.dominated(c, t.v, t.sum); w != nil {
+		t.alive = false
+		attach(w, t)
+		c.dead = insertByRank(c.dead, t)
+		return
+	}
+	ls.evict(c, t, sink)
+	t.alive = true
+	c.alive = insertByRank(c.alive, t)
+	c.widen(t, ls.d)
+	ls.emit(t, sink)
+}
+
+// emit delivers t as a result in the preference's original orientation.
+func (ls *LiveSpace) emit(t *liveTuple, sink LiveSink) {
+	ls.stats.Results++
+	if sink == nil {
+		return
+	}
+	out := smj.Decanonicalize(ls.pref, slices.Clone(t.v))
+	sink.Result(smj.Result{LeftID: t.leftID, RightID: t.rightID, Out: out})
+}
+
+// retract withdraws t from the net result set.
+func (ls *LiveSpace) retract(t *liveTuple, sink LiveSink) {
+	ls.stats.Retractions++
+	if sink != nil {
+		sink.Retract(t.leftID, t.rightID)
+	}
+}
+
+// ApplyInsert adds base tuple t to side, maps it against every join partner
+// on the opposite side, and routes each mapped output through the dominance
+// protocol — emitting results for survivors and retracts for the tuples they
+// evict. Values must be finite and match the side's arity; a duplicate ID on
+// the side is rejected.
+func (ls *LiveSpace) ApplyInsert(side mapping.Side, t relation.Tuple, sink LiveSink) error {
+	if side != mapping.Left && side != mapping.Right {
+		return fmt.Errorf("live: invalid side %d", side)
+	}
+	for _, v := range t.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("live: non-finite value in tuple %d", t.ID)
+		}
+	}
+	if _, dup := ls.base[side][t.ID]; dup {
+		return fmt.Errorf("live: duplicate id %d on %v side", t.ID, side)
+	}
+	ls.stats.Inserts++
+	t.Vals = slices.Clone(t.Vals)
+	ls.base[side][t.ID] = t
+	ls.byKey[side][t.JoinKey] = append(ls.byKey[side][t.JoinKey], t.ID)
+
+	other := mapping.Right - side
+	partners := slices.Clone(ls.byKey[other][t.JoinKey])
+	slices.Sort(partners) // deterministic mapping order
+	for _, pid := range partners {
+		p := ls.base[other][pid]
+		lv, rv := t.Vals, p.Vals
+		lid, rid := t.ID, p.ID
+		if side == mapping.Right {
+			lv, rv = p.Vals, t.Vals
+			lid, rid = p.ID, t.ID
+		}
+		nt := &liveTuple{leftID: lid, rightID: rid, v: make([]float64, ls.d), seq: ls.nextSeq}
+		ls.nextSeq++
+		ls.maps.Map(lv, rv, nt.v)
+		for _, v := range nt.v {
+			nt.sum += v
+		}
+		ls.byBase[side][t.ID] = append(ls.byBase[side][t.ID], nt)
+		ls.byBase[other][pid] = append(ls.byBase[other][pid], nt)
+		ls.place(nt, sink)
+	}
+	return nil
+}
+
+// ApplyDelete removes the base tuple with the given ID from side. Every
+// mapped tuple it participates in is withdrawn (alive ones retracted), and
+// dead tuples whose referees were among the removed survivors are re-checked
+// and promoted back into the result set when no alive dominator remains.
+//
+// Candidate completeness: a dead tuple needs promotion only if it lost its
+// last alive dominator, and its referee is an alive dominator — so if the
+// referee survived the delete, the tuple stays correctly dead, and otherwise
+// it appears in a removed survivor's dependent list. Candidates are processed
+// in ascending (sum, seq) order and re-checked against the current alive set
+// (earlier promotions included): any dominator of a candidate has a strictly
+// smaller sum, so it was processed first — if it was promoted the re-check
+// sees it, and if it stayed dead its own alive dominator transitively covers
+// the candidate. Promoted tuples therefore never retroactively dominate one
+// another, and a promoted tuple never evicts: it would have to dominate an
+// alive tuple the alive antichain already failed to dominate.
+func (ls *LiveSpace) ApplyDelete(side mapping.Side, id int64, sink LiveSink) error {
+	if side != mapping.Left && side != mapping.Right {
+		return fmt.Errorf("live: invalid side %d", side)
+	}
+	t, ok := ls.base[side][id]
+	if !ok {
+		return fmt.Errorf("live: no id %d on %v side", id, side)
+	}
+	ls.stats.Deletes++
+	delete(ls.base[side], id)
+	ids := ls.byKey[side][t.JoinKey]
+	if i := slices.Index(ids, id); i >= 0 {
+		ls.byKey[side][t.JoinKey] = slices.Delete(ids, i, i+1)
+	}
+
+	removed := ls.byBase[side][id]
+	delete(ls.byBase[side], id)
+	if len(removed) == 0 {
+		return nil
+	}
+	gone := make(map[*liveTuple]bool, len(removed))
+	var survivors []*liveTuple
+	for _, mt := range removed {
+		gone[mt] = true
+		if mt.alive {
+			survivors = append(survivors, mt)
+			ls.retract(mt, sink)
+		}
+	}
+	// Drop every removed mapped tuple from its cell and from the opposite
+	// side's byBase lists.
+	other := mapping.Right - side
+	for _, mt := range removed {
+		oid := mt.rightID
+		if side == mapping.Right {
+			oid = mt.leftID
+		}
+		lst := ls.byBase[other][oid]
+		if i := slices.Index(lst, mt); i >= 0 {
+			ls.byBase[other][oid] = slices.Delete(lst, i, i+1)
+		}
+	}
+	touched := make(map[int]bool)
+	for _, mt := range removed {
+		c := ls.cells[ls.g.CellOf(mt.v)]
+		if !touched[c.flat] {
+			c.alive = slices.DeleteFunc(c.alive, func(x *liveTuple) bool { return gone[x] })
+			c.dead = slices.DeleteFunc(c.dead, func(x *liveTuple) bool { return gone[x] })
+			c.refresh(ls.d)
+			touched[c.flat] = true
+		}
+	}
+
+	// Detach removed dead tuples from surviving referees, then collect the
+	// promotion candidates: each removed survivor's dependents. A dead
+	// tuple has exactly one referee, so the lists are disjoint — no dedup.
+	var cands []*liveTuple
+	for _, mt := range removed {
+		if !mt.alive && mt.ref != nil && !gone[mt.ref] {
+			detach(mt)
+		}
+	}
+	for _, r := range survivors {
+		for _, u := range r.deps {
+			if gone[u] {
+				continue
+			}
+			u.ref = nil
+			cands = append(cands, u)
+		}
+		r.deps = nil
+	}
+	slices.SortFunc(cands, func(a, b *liveTuple) int {
+		if a.sum != b.sum {
+			if a.sum < b.sum {
+				return -1
+			}
+			return 1
+		}
+		return int(a.seq - b.seq)
+	})
+	for _, u := range cands {
+		c := ls.cells[ls.g.CellOf(u.v)]
+		if w := ls.dominated(c, u.v, u.sum); w != nil {
+			attach(w, u) // stays dead under a new referee
+			continue
+		}
+		u.alive = true
+		ls.stats.Promotions++
+		if i := slices.Index(c.dead, u); i >= 0 {
+			c.dead = slices.Delete(c.dead, i, i+1)
+		}
+		c.alive = insertByRank(c.alive, u)
+		c.widen(u, ls.d)
+		ls.emit(u, sink)
+	}
+	return nil
+}
+
+// Results returns the current net result set — every alive tuple,
+// decanonicalized — sorted by (LeftID, RightID). This is the set a fresh
+// engine run over the current base relations must produce.
+func (ls *LiveSpace) Results() []smj.Result {
+	var out []smj.Result
+	for _, c := range ls.cellList {
+		for _, t := range c.alive {
+			out = append(out, smj.Result{
+				LeftID:  t.leftID,
+				RightID: t.rightID,
+				Out:     smj.Decanonicalize(ls.pref, slices.Clone(t.v)),
+			})
+		}
+	}
+	slices.SortFunc(out, func(a, b smj.Result) int {
+		if a.LeftID != b.LeftID {
+			return int(a.LeftID - b.LeftID)
+		}
+		return int(a.RightID - b.RightID)
+	})
+	return out
+}
+
+// Snapshot delivers the current net result set to sink in the canonical
+// (LeftID, RightID) order — the initial emission of a fresh subscription.
+func (ls *LiveSpace) Snapshot(sink LiveSink) {
+	for _, r := range ls.Results() {
+		ls.stats.Results++
+		if sink != nil {
+			sink.Result(r)
+		}
+	}
+}

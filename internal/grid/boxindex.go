@@ -194,7 +194,29 @@ func (ix *BoxIndex) liveSuffix(dim, v int) int32 {
 // is live and satisfies the relation; callers that must not see it retire it
 // first (the scheduler) or filter it (callers whose relation excludes self).
 func (ix *BoxIndex) EachOut(x int32, fn func(y int32)) {
-	q := ix.src[x]
+	var key uint64
+	if ix.keyed {
+		key = ix.sKey[x]
+	}
+	ix.eachOut(ix.src[x], key, fn)
+}
+
+// EachOutCorner enumerates the live boxes y with dst(y) ≥ q componentwise for
+// an arbitrary query corner q — the reverse-dominance query: every indexed
+// box whose target corner sits in the closed upper orthant of q. Coordinates
+// must lie in [0, k[i]] (a value of k[i] matches nothing in that dimension).
+func (ix *BoxIndex) EachOutCorner(q []int, fn func(y int32)) {
+	var key uint64
+	if ix.keyed {
+		key = ix.packKey(q)
+	}
+	ix.eachOut(q, key, fn)
+}
+
+// eachOut is the shared successor scan: the cheapest dimension by live
+// suffix count is walked upward from q, entries filtered by packed key and —
+// when keys are coarse — the coordinate-slice compare.
+func (ix *BoxIndex) eachOut(q []int, key uint64, fn func(y int32)) {
 	best, bestN := -1, int32(0)
 	for i, v := range q {
 		n := ix.liveSuffix(i, v)
@@ -207,7 +229,6 @@ func (ix *BoxIndex) EachOut(x int32, fn func(y int32)) {
 	}
 	buckets := ix.byDst[best]
 	if ix.exact {
-		key := ix.sKey[x]
 		for v := q[best]; v < ix.k[best]; v++ {
 			for _, e := range buckets[v] {
 				if KeyLeq(key, e.key) {
@@ -218,7 +239,6 @@ func (ix *BoxIndex) EachOut(x int32, fn func(y int32)) {
 		return
 	}
 	if ix.keyed {
-		key := ix.sKey[x]
 		for v := q[best]; v < ix.k[best]; v++ {
 			for _, e := range buckets[v] {
 				if KeyLeq(key, e.key) && LeqAll(q, ix.dst[e.id]) {
@@ -314,6 +334,33 @@ func (ix *BoxIndex) EachIn(y int32, fn func(x int32) bool) bool {
 	for v := 0; v <= q[best]; v++ {
 		for _, x := range ix.bySrc[best][v] {
 			if ix.leqSrcDst(x, y) && !fn(x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EachInCorner enumerates the boxes x with src(x) ≤ q componentwise for an
+// arbitrary query corner q — the forward-dominance query: every indexed box
+// whose source corner sits in the closed lower orthant of q, retired or not.
+// Coordinates must lie in [0, k[i]]. Enumeration stops early when fn returns
+// false; the return value reports whether it ran to completion.
+func (ix *BoxIndex) EachInCorner(q []int, fn func(x int32) bool) bool {
+	ix.ensureSrcBuckets()
+	best, bestN := -1, int32(0)
+	for i, v := range q {
+		n := ix.preSrc[i][v+1]
+		if best < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	if bestN == 0 {
+		return true
+	}
+	for v := 0; v <= q[best]; v++ {
+		for _, x := range ix.bySrc[best][v] {
+			if LeqAll(ix.src[x], q) && !fn(x) {
 				return false
 			}
 		}

@@ -1,0 +1,112 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// TestBoxIndexCornerQueries pins the arbitrary-corner generalizations of
+// EachOut/EachIn against the all-pairs evaluation, across the same operating
+// modes as the box-relation test: exact packed keys, the coarse-key
+// prefilter, and the plain slice compare, with and without retirements.
+func TestBoxIndexCornerQueries(t *testing.T) {
+	modes := []struct {
+		name    string
+		d, kMax int
+	}{
+		{"packed", 3, 16},
+		{"coarse", 2, 300},
+		{"slice/d=9", 9, 4},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(31, uint64(m.d)))
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.IntN(60)
+				src, dst, k := randCorners(rng, n, m.d, m.kMax)
+				ix := NewBoxIndex(src, dst, k, BoxIndexFenLimit)
+				retired := make([]bool, n)
+				for i := 0; i < n/4; i++ {
+					id := rng.IntN(n)
+					ix.Retire(int32(id))
+					retired[id] = true
+				}
+				for probe := 0; probe < 8; probe++ {
+					q := make([]int, m.d)
+					for i := range q {
+						q[i] = rng.IntN(k[i] + 1)
+					}
+
+					var gotOut []int32
+					ix.EachOutCorner(q, func(y int32) { gotOut = append(gotOut, y) })
+					slices.Sort(gotOut)
+					var wantOut []int32
+					for y := 0; y < n; y++ {
+						if !retired[y] && LeqAll(q, dst[y]) {
+							wantOut = append(wantOut, int32(y))
+						}
+					}
+					if !slices.Equal(gotOut, wantOut) {
+						t.Fatalf("%s trial %d: EachOutCorner(%v) = %v, want %v",
+							m.name, trial, q, gotOut, wantOut)
+					}
+
+					var gotIn []int32
+					if !ix.EachInCorner(q, func(x int32) bool { gotIn = append(gotIn, x); return true }) {
+						t.Fatalf("EachInCorner stopped without fn returning false")
+					}
+					slices.Sort(gotIn)
+					var wantIn []int32
+					for x := 0; x < n; x++ {
+						if LeqAll(src[x], q) { // retirement is dst-side only
+							wantIn = append(wantIn, int32(x))
+						}
+					}
+					if !slices.Equal(gotIn, wantIn) {
+						t.Fatalf("%s trial %d: EachInCorner(%v) = %v, want %v",
+							m.name, trial, q, gotIn, wantIn)
+					}
+
+					// Early stop: fn returning false halts enumeration.
+					if len(wantIn) > 1 {
+						calls := 0
+						if ix.EachInCorner(q, func(int32) bool { calls++; return false }) {
+							t.Fatal("early stop not reported")
+						}
+						if calls != 1 {
+							t.Fatalf("early stop made %d calls", calls)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBoxIndexCornerConsistentWithBoxQueries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	src, dst, k := randCorners(rng, 40, 4, 10)
+	ix := NewBoxIndex(src, dst, k, BoxIndexFenLimit)
+	for x := 0; x < len(src); x++ {
+		var viaBox, viaCorner []int32
+		ix.EachOut(int32(x), func(y int32) { viaBox = append(viaBox, y) })
+		ix.EachOutCorner(src[x], func(y int32) { viaCorner = append(viaCorner, y) })
+		slices.Sort(viaBox)
+		slices.Sort(viaCorner)
+		if !slices.Equal(viaBox, viaCorner) {
+			t.Fatalf("box %d: EachOut %v != EachOutCorner %v", x, viaBox, viaCorner)
+		}
+	}
+	for y := 0; y < len(dst); y++ {
+		var viaBox, viaCorner []int32
+		ix.EachIn(int32(y), func(x int32) bool { viaBox = append(viaBox, x); return true })
+		ix.EachInCorner(dst[y], func(x int32) bool { viaCorner = append(viaCorner, x); return true })
+		slices.Sort(viaBox)
+		slices.Sort(viaCorner)
+		if !slices.Equal(viaBox, viaCorner) {
+			t.Fatalf("box %d: EachIn %v != EachInCorner %v", y, viaBox, viaCorner)
+		}
+	}
+}

@@ -9,11 +9,39 @@ import (
 	"progxe/internal/smj"
 )
 
+// LivePlan is a compiled query plus the binding metadata a live
+// subscription needs to route a change stream: which catalog relation
+// landed on which problem side (Compile may swap the inputs to honor FROM
+// order) and the per-side selection predicates. The problem's relations
+// already have the selections applied; incoming feed inserts must pass the
+// same predicate before entering the output space, which is why the
+// predicates are carried alongside.
+type LivePlan struct {
+	Problem *smj.Problem
+	// Tables names the catalog relation bound to each problem side:
+	// Tables[mapping.Left] feeds Problem.Left.
+	Tables [2]string
+	// Preds holds each side's compiled selection predicate; nil means the
+	// side is unfiltered.
+	Preds [2]relation.Predicate
+}
+
 // Compile binds the parsed query to the two source relations (matched by
 // table name or positional order) and produces a runnable smj.Problem with
 // selections already applied. The join condition must use each schema's
 // declared join attribute.
 func (q *Query) Compile(left, right *relation.Relation) (*smj.Problem, error) {
+	lp, err := q.CompileLive(left, right)
+	if err != nil {
+		return nil, err
+	}
+	return lp.Problem, nil
+}
+
+// CompileLive is Compile additionally returning the side binding and
+// selection predicates, for callers that keep applying changes to the
+// compiled problem after the snapshot (live subscriptions).
+func (q *Query) CompileLive(left, right *relation.Relation) (*LivePlan, error) {
 	// Match relations to FROM entries by table name; fall back to position.
 	rels := map[string]*relation.Relation{}
 	if left.Schema.Name == q.From[1].Table || right.Schema.Name == q.From[0].Table {
@@ -119,7 +147,11 @@ func (q *Query) Compile(left, right *relation.Relation) (*smj.Problem, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return p, nil
+	return &LivePlan{
+		Problem: p,
+		Tables:  [2]string{left.Schema.Name, right.Schema.Name},
+		Preds:   [2]relation.Predicate{lp, rp},
+	}, nil
 }
 
 // compileExpr lowers an AST node to a mapping expression.

@@ -73,17 +73,27 @@ func (e ErrCatalogFull) Error() string { return "catalog: " + e.Reason }
 // still holds. The checks and the insert run under one lock, so concurrent
 // registrations cannot overshoot.
 func (c *Catalog) RegisterCapped(rel *relation.Relation, maxEntries, maxRows int) error {
+	_, _, err := c.RegisterCappedVersioned(rel, maxEntries, maxRows)
+	return err
+}
+
+// RegisterCappedVersioned is RegisterCapped additionally reporting the
+// generation assigned to the registration and whether it replaced an
+// existing entry. The serve layer's change feed stamps catalog events with
+// the generation, so event order and version order advance on one counter.
+func (c *Catalog) RegisterCappedVersioned(rel *relation.Relation, maxEntries, maxRows int) (ver uint64, replaced bool, err error) {
 	if rel == nil || rel.Schema == nil {
-		return fmt.Errorf("catalog: nil relation")
+		return 0, false, fmt.Errorf("catalog: nil relation")
 	}
 	name := rel.Schema.Name
 	if !validName(name) {
-		return fmt.Errorf("catalog: relation name %q is not a valid identifier", name)
+		return 0, false, fmt.Errorf("catalog: relation name %q is not a valid identifier", name)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, replacing := c.rels[name]; !replacing && maxEntries > 0 && len(c.rels) >= maxEntries {
-		return ErrCatalogFull{Reason: fmt.Sprintf("already holds %d relations; delete one first", maxEntries)}
+	_, replacing := c.rels[name]
+	if !replacing && maxEntries > 0 && len(c.rels) >= maxEntries {
+		return 0, false, ErrCatalogFull{Reason: fmt.Sprintf("already holds %d relations; delete one first", maxEntries)}
 	}
 	if maxRows > 0 {
 		total := rel.Len()
@@ -93,13 +103,13 @@ func (c *Catalog) RegisterCapped(rel *relation.Relation, maxEntries, maxRows int
 			}
 		}
 		if total > maxRows {
-			return ErrCatalogFull{Reason: fmt.Sprintf("registering %d rows would exceed the %d-row budget; delete a relation first", rel.Len(), maxRows)}
+			return 0, false, ErrCatalogFull{Reason: fmt.Sprintf("registering %d rows would exceed the %d-row budget; delete a relation first", rel.Len(), maxRows)}
 		}
 	}
 	c.rels[name] = rel
 	c.gen++
 	c.vers[name] = c.gen
-	return nil
+	return c.gen, replacing, nil
 }
 
 // Get resolves a relation by name.
@@ -122,6 +132,13 @@ func (c *Catalog) GetVersioned(name string) (*relation.Relation, uint64, bool) {
 
 // Remove deletes a relation, reporting whether it existed.
 func (c *Catalog) Remove(name string) bool {
+	_, ok := c.RemoveVersioned(name)
+	return ok
+}
+
+// RemoveVersioned is Remove additionally reporting the generation the
+// removal advanced the catalog to, for stamping the dropped-relation event.
+func (c *Catalog) RemoveVersioned(name string) (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, ok := c.rels[name]
@@ -130,7 +147,7 @@ func (c *Catalog) Remove(name string) bool {
 		delete(c.vers, name)
 		c.gen++
 	}
-	return ok
+	return c.gen, ok
 }
 
 // Len returns the number of registered relations.

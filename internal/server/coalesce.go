@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"progxe/internal/core"
 	"progxe/internal/obs"
 	"progxe/internal/smj"
 )
@@ -20,11 +19,8 @@ import (
 // per-run state a shared run cannot attribute to one client).
 type coalesceKey struct {
 	plan          planKey
-	ranker        core.RankerKind
 	limit         int
-	workers       int // granted after clamping
-	committers    int // granted after clamping
-	speculate     int // granted after clamping
+	exec          ExecInfo // granted knobs after resolveExec (ranker included)
 	timeoutMillis int64
 }
 
@@ -40,6 +36,7 @@ type groupRec struct {
 // record: every subscriber reports the same HTTP error.
 type groupError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -103,9 +100,9 @@ func (g *runGroup) appendJSON(event string, v any) {
 
 // failPre resolves the group into an HTTP error before any record was
 // published and wakes the subscribers to report it.
-func (g *runGroup) failPre(status int, msg string) {
+func (g *runGroup) failPre(status int, code, msg string) {
 	g.mu.Lock()
-	g.preErr = &groupError{status: status, msg: msg}
+	g.preErr = &groupError{status: status, code: code, msg: msg}
 	g.done = true
 	g.mu.Unlock()
 	g.cond.Broadcast()
@@ -190,13 +187,6 @@ func (s *Server) detachGroup(g *runGroup) {
 	}
 }
 
-// errorRecord terminates a subscriber's stream when the shared run outpaced
-// its bounded replay ring.
-type errorRecord struct {
-	Type  string `json:"type"` // "error"
-	Error string `json:"error"`
-}
-
 // streamGroup drains the group's record stream to one subscriber: replay
 // from its cursor, then live records as the run publishes them. Slow
 // clients time out under their own write deadline or fall off the replay
@@ -231,7 +221,7 @@ func (s *Server) streamGroup(w http.ResponseWriter, r *http.Request, g *runGroup
 		if g.preErr != nil {
 			pe := *g.preErr
 			g.mu.Unlock()
-			writeError(w, pe.status, "%s", pe.msg)
+			writeError(w, pe.status, pe.code, "%s", pe.msg)
 			return
 		}
 		if ctx.Err() != nil {
@@ -242,9 +232,11 @@ func (s *Server) streamGroup(w http.ResponseWriter, r *http.Request, g *runGroup
 			g.mu.Unlock()
 			s.metrics.replayTruncation()
 			if began {
-				sw.record("error", errorRecord{Type: "error", Error: "replay buffer truncated: client fell too far behind the shared run"})
+				sw.record("error", newErrorRecord(errReplayTruncated,
+					"replay buffer truncated: client fell too far behind the shared run"))
 			} else {
-				writeError(w, http.StatusServiceUnavailable, "replay buffer truncated: client fell too far behind the shared run")
+				writeError(w, http.StatusServiceUnavailable, errReplayTruncated,
+					"replay buffer truncated: client fell too far behind the shared run")
 			}
 			return
 		}
@@ -325,7 +317,7 @@ func (s *Server) runCoalesced(g *runGroup, rs runSpec) {
 	g.mu.Unlock()
 	rec := s.finishRun(runResult{
 		runID: rs.runID, engineName: rs.engineName, query: rs.query,
-		workers: rs.workers, committers: rs.committers, speculate: rs.speculate,
+		exec:   rs.exec,
 		cached: rs.cached, fanout: fanout,
 		start: start, elapsed: elapsed, ttfr: ttfr,
 		seq: seq, limitHit: limitHit, runErr: runErr,

@@ -30,17 +30,18 @@ func TestCommitterQueryMatchesSerial(t *testing.T) {
 	}
 
 	serialRun, serial := collect(QueryRequest{Query: q, Engine: "progxe"})
-	if c, ok := serialRun["committers"]; ok && c != float64(0) {
+	if c, ok := execObj(t, serialRun)["committers"]; ok && c != float64(0) {
 		t.Fatalf("serial run record advertises committers=%v", c)
 	}
 
 	// Ask for more than the cap: clamped to MaxRunCommitters, echoed back.
 	comRun, committed := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 64})
-	if comRun["committers"] != float64(2) {
-		t.Fatalf("run record committers = %v, want 2 (clamped)", comRun["committers"])
+	comExec := execObj(t, comRun)
+	if comExec["committers"] != float64(2) {
+		t.Fatalf("run record committers = %v, want 2 (clamped)", comExec["committers"])
 	}
-	if comRun["workers"] != float64(2) {
-		t.Fatalf("run record workers = %v, want 2", comRun["workers"])
+	if comExec["workers"] != float64(2) {
+		t.Fatalf("run record workers = %v, want 2", comExec["workers"])
 	}
 
 	if len(serial) != len(committed) || len(serial) == 0 {
@@ -57,7 +58,7 @@ func TestCommitterQueryMatchesSerial(t *testing.T) {
 	// Committers without workers: the run is serial, so the knob is moot —
 	// granted 0 and echoed as absent, never silently half-applied.
 	soloRun, solo := collect(QueryRequest{Query: q, Engine: "progxe", Committers: 2})
-	if c, ok := soloRun["committers"]; ok && c != float64(0) {
+	if c, ok := execObj(t, soloRun)["committers"]; ok && c != float64(0) {
 		t.Fatalf("serial run granted committers=%v", c)
 	}
 	if len(solo) != len(serial) {
@@ -70,8 +71,8 @@ func TestCommitterQueryMatchesSerial(t *testing.T) {
 	if !ok {
 		t.Fatalf("run %q not in the run log", runID)
 	}
-	if rec.Committers != 2 || rec.Workers != 2 {
-		t.Fatalf("run log records workers=%d committers=%d, want 2/2", rec.Workers, rec.Committers)
+	if rec.Exec.Committers != 2 || rec.Exec.Workers != 2 {
+		t.Fatalf("run log records workers=%d committers=%d, want 2/2", rec.Exec.Workers, rec.Exec.Committers)
 	}
 }
 
@@ -95,7 +96,7 @@ func TestMaxRunCommittersDisabled(t *testing.T) {
 	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 8})
 	defer resp.Body.Close()
 	recs := decodeNDJSON(t, resp.Body)
-	if c, ok := recs[0]["committers"]; ok && c != float64(0) {
+	if c, ok := execObj(t, recs[0])["committers"]; ok && c != float64(0) {
 		t.Fatalf("disabled cap still granted committers=%v", c)
 	}
 	if recs[len(recs)-1]["error"] != nil {

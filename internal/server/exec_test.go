@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// execObj extracts the nested exec object from a decoded run record. Every
+// run record carries one (the ranker field is always set), so a missing or
+// mis-typed object is a failure, not an empty map.
+func execObj(t *testing.T, run map[string]any) map[string]any {
+	t.Helper()
+	ex, ok := run["exec"].(map[string]any)
+	if !ok {
+		t.Fatalf("run record has no exec object: %v", run)
+	}
+	return ex
+}
+
+// TestExecObjectMatchesFlatFields pins the API redesign's compatibility
+// contract: the nested exec object and the legacy flat fields are the same
+// knobs, resolve through the same clamp rules, and echo identically.
+func TestExecObjectMatchesFlatFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRunWorkers: 2, MaxRunCommitters: 2, MaxRunSpeculate: 2})
+	q := e2eWorkload(t, ts)
+
+	collect := func(req QueryRequest) (run map[string]any, n int) {
+		t.Helper()
+		resp := postQuery(t, ts, req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query returned %d", resp.StatusCode)
+		}
+		recs := decodeNDJSON(t, resp.Body)
+		if recs[0]["type"] != "run" {
+			t.Fatalf("stream starts with %v", recs[0])
+		}
+		last := recs[len(recs)-1]
+		if last["type"] != "stats" || last["error"] != nil {
+			t.Fatalf("stats trailer = %v", last)
+		}
+		return recs[0], len(recs) - 2
+	}
+
+	nested, nn := collect(QueryRequest{Query: q, Engine: "progxe",
+		Exec: &ExecRequest{Workers: 64, Committers: 64, Speculate: 64, Ranker: "cardinality"}})
+	flat, fn := collect(QueryRequest{Query: q, Engine: "progxe",
+		Workers: 64, Committers: 64, Speculate: 64, Ranker: "cardinality"})
+	if nn != fn || nn == 0 {
+		t.Fatalf("result counts differ: nested %d, flat %d", nn, fn)
+	}
+	ne, fe := execObj(t, nested), execObj(t, flat)
+	for _, k := range []string{"workers", "committers", "speculate", "ranker"} {
+		if ne[k] != fe[k] {
+			t.Fatalf("exec echo differs at %q: nested %v, flat %v", k, ne[k], fe[k])
+		}
+	}
+	if ne["workers"] != float64(2) || ne["committers"] != float64(2) || ne["speculate"] != float64(2) {
+		t.Fatalf("caps not applied to nested exec: %v", ne)
+	}
+	if ne["ranker"] != "cardinality" {
+		t.Fatalf("ranker echo = %v, want cardinality", ne["ranker"])
+	}
+}
+
+// TestExecConflictRejected pins the anti-merge rule: a request spelling the
+// knobs both ways is ambiguous and must 400 with exec_conflict — never
+// silently prefer one spelling.
+func TestExecConflictRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe",
+		Workers: 2, Exec: &ExecRequest{Workers: 4}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting spellings returned %d, want 400", resp.StatusCode)
+	}
+	var rec errorRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if rec.Type != "error" || rec.Code != errExecConflict || rec.Message == "" {
+		t.Fatalf("error body = %+v, want type=error code=exec_conflict", rec)
+	}
+}
+
+// TestExecNestedValidation drives resolveExec's reject paths through the
+// nested spelling: negative committers/speculate and unknown rankers are
+// bad_exec, not clamps.
+func TestExecNestedValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := e2eWorkload(t, ts)
+	for _, ex := range []ExecRequest{
+		{Workers: 2, Committers: -1},
+		{Workers: 2, Committers: 2, Speculate: -1},
+		{Ranker: "nope"},
+	} {
+		ex := ex
+		resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Exec: &ex})
+		var rec errorRecord
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatalf("decoding error body: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || rec.Code != errBadExec {
+			t.Fatalf("exec %+v returned %d code %q, want 400 bad_exec", ex, resp.StatusCode, rec.Code)
+		}
+	}
+}

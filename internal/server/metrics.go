@@ -43,9 +43,18 @@ type metrics struct {
 	coalescedRuns        int64
 	coalescedSubscribers int64
 	replayTruncated      int64
-	ttfrCounts           []int64 // len(ttfrBuckets)+1; last is +Inf
-	ttfrSum              float64 // seconds
-	ttfrObserved         int64
+	// Live-subscription counters. subsLive gauges currently attached
+	// subscriptions; subsStarted counts every subscription admitted;
+	// subChanges counts catalog change events folded into resident output
+	// spaces across all subscriptions plus changes applied through the feed
+	// endpoint; subRetracts counts retract records streamed.
+	subsStarted  int64
+	subsLive     int64
+	subChanges   int64
+	subRetracts  int64
+	ttfrCounts   []int64 // len(ttfrBuckets)+1; last is +Inf
+	ttfrSum      float64 // seconds
+	ttfrObserved int64
 	// Scheduler-layer engine counters, accumulated across runs.
 	schedEdges         int64
 	schedRankRefreshes int64
@@ -162,6 +171,27 @@ func (m *metrics) replayTruncation() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) subStarted() {
+	m.mu.Lock()
+	m.subsStarted++
+	m.subsLive++
+	m.mu.Unlock()
+}
+
+func (m *metrics) subFinished(applied, retractions int64) {
+	m.mu.Lock()
+	m.subsLive--
+	m.subChanges += applied
+	m.subRetracts += retractions
+	m.mu.Unlock()
+}
+
+func (m *metrics) subChangesApplied(n int64) {
+	m.mu.Lock()
+	m.subChanges += n
+	m.mu.Unlock()
+}
+
 // observeEngineStats folds one run's engine counters into the service
 // totals (currently the scheduler-layer triple).
 func (m *metrics) observeEngineStats(st smj.Stats) {
@@ -253,14 +283,19 @@ type Snapshot struct {
 	RunsRejected    int64 `json:"runsRejected"`
 	ResultsStreamed int64 `json:"resultsStreamed"`
 	// Plan-cache and coalescing counters; see metrics for semantics.
-	PlanCacheHits        int64    `json:"planCacheHits"`
-	PlanCacheMisses      int64    `json:"planCacheMisses"`
-	CoalescedRuns        int64    `json:"coalescedRuns"`
-	CoalescedSubscribers int64    `json:"coalescedSubscribers"`
-	ReplayTruncated      int64    `json:"replayTruncated"`
-	TTFRObserved         int64    `json:"ttfrObserved"`
-	TTFRSumSeconds       float64  `json:"ttfrSumSeconds"`
-	TTFR                 []Bucket `json:"ttfr"`
+	PlanCacheHits        int64 `json:"planCacheHits"`
+	PlanCacheMisses      int64 `json:"planCacheMisses"`
+	CoalescedRuns        int64 `json:"coalescedRuns"`
+	CoalescedSubscribers int64 `json:"coalescedSubscribers"`
+	ReplayTruncated      int64 `json:"replayTruncated"`
+	// Live-subscription counters; see metrics for semantics.
+	SubscriptionsStarted       int64    `json:"subscriptionsStarted"`
+	SubscriptionsLive          int64    `json:"subscriptionsLive"`
+	SubscriptionChangesApplied int64    `json:"subscriptionChangesApplied"`
+	SubscriptionRetractions    int64    `json:"subscriptionRetractions"`
+	TTFRObserved               int64    `json:"ttfrObserved"`
+	TTFRSumSeconds             float64  `json:"ttfrSumSeconds"`
+	TTFR                       []Bucket `json:"ttfr"`
 	// Scheduler-layer totals across runs (ProgXe engines with graph
 	// ordering; zero for baselines and fixed orders).
 	SchedEdges         int64 `json:"schedEdges"`
@@ -306,8 +341,13 @@ func (m *metrics) snapshot() Snapshot {
 		CoalescedRuns:        m.coalescedRuns,
 		CoalescedSubscribers: m.coalescedSubscribers,
 		ReplayTruncated:      m.replayTruncated,
-		TTFRObserved:         m.ttfrObserved,
-		TTFRSumSeconds:       m.ttfrSum,
+
+		SubscriptionsStarted:       m.subsStarted,
+		SubscriptionsLive:          m.subsLive,
+		SubscriptionChangesApplied: m.subChanges,
+		SubscriptionRetractions:    m.subRetracts,
+		TTFRObserved:               m.ttfrObserved,
+		TTFRSumSeconds:             m.ttfrSum,
 
 		SchedEdges:         m.schedEdges,
 		SchedRankRefreshes: m.schedRankRefreshes,
@@ -379,10 +419,14 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("progxe_coalesced_runs_total", "Engine runs started on behalf of coalesced subscriber groups.", s.CoalescedRuns)
 	counter("progxe_coalesced_subscribers_total", "Streams attached to coalesced runs (leaders included).", s.CoalescedSubscribers)
 	counter("progxe_replay_truncated_total", "Coalesced subscribers dropped after falling behind the replay ring.", s.ReplayTruncated)
+	counter("progxe_subscriptions_started_total", "Live subscriptions admitted.", s.SubscriptionsStarted)
+	counter("progxe_subscription_changes_applied_total", "Catalog change events folded into live subscriptions and applied through the change feed.", s.SubscriptionChangesApplied)
+	counter("progxe_subscription_retractions_total", "Retract records streamed by live subscriptions.", s.SubscriptionRetractions)
 	counter("progxe_sched_edges_total", "EL-Graph edges installed by region schedulers.", s.SchedEdges)
 	counter("progxe_sched_rank_refreshes_total", "Lazy benefit/cost rank refreshes at queue-pop.", s.SchedRankRefreshes)
 	counter("progxe_sched_fenwick_updates_total", "Point updates on active-cell and in-degree Fenwick trees.", s.FenwickUpdates)
 	fmt.Fprintf(w, "# HELP progxe_runs_active Engine runs currently executing.\n# TYPE progxe_runs_active gauge\nprogxe_runs_active %d\n", s.RunsActive)
+	fmt.Fprintf(w, "# HELP progxe_subscriptions_live Live subscriptions currently attached.\n# TYPE progxe_subscriptions_live gauge\nprogxe_subscriptions_live %d\n", s.SubscriptionsLive)
 	fmt.Fprintf(w, "# HELP progxe_ttfr_seconds Time to first streamed result.\n# TYPE progxe_ttfr_seconds histogram\n")
 	for _, b := range s.TTFR {
 		le := "+Inf"

@@ -29,13 +29,13 @@ func TestParallelQueryMatchesSerial(t *testing.T) {
 	}
 
 	serialRun, serial := collect(QueryRequest{Query: q, Engine: "progxe"})
-	if w, ok := serialRun["workers"]; ok && w != float64(0) {
+	if w, ok := execObj(t, serialRun)["workers"]; ok && w != float64(0) {
 		t.Fatalf("serial run record advertises workers=%v", w)
 	}
 	// Ask for more than the cap: clamped to MaxRunWorkers, echoed back.
 	parallelRun, parallel := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 64})
-	if parallelRun["workers"] != float64(2) {
-		t.Fatalf("parallel run record workers = %v, want 2 (clamped)", parallelRun["workers"])
+	if w := execObj(t, parallelRun)["workers"]; w != float64(2) {
+		t.Fatalf("parallel run record workers = %v, want 2 (clamped)", w)
 	}
 
 	if len(serial) != len(parallel) || len(serial) == 0 {
@@ -51,7 +51,7 @@ func TestParallelQueryMatchesSerial(t *testing.T) {
 
 	// Negative requests degrade to serial rather than erroring.
 	negRun, neg := collect(QueryRequest{Query: q, Engine: "progxe", Workers: -3})
-	if w, ok := negRun["workers"]; ok && w != float64(0) {
+	if w, ok := execObj(t, negRun)["workers"]; ok && w != float64(0) {
 		t.Fatalf("negative workers granted %v", w)
 	}
 	if len(neg) != len(serial) {
@@ -67,7 +67,7 @@ func TestMaxRunWorkersDisabled(t *testing.T) {
 	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 8})
 	defer resp.Body.Close()
 	recs := decodeNDJSON(t, resp.Body)
-	if w, ok := recs[0]["workers"]; ok && w != float64(0) {
+	if w, ok := execObj(t, recs[0])["workers"]; ok && w != float64(0) {
 		t.Fatalf("disabled cap still granted workers=%v", w)
 	}
 	if recs[len(recs)-1]["error"] != nil {

@@ -33,33 +33,19 @@ type QueryRequest struct {
 	// Limit stops the run after this many results (0 = stream everything).
 	// The truncated stream still only contains final skyline members.
 	Limit int `json:"limit,omitempty"`
-	// Workers requests parallel region processing with this many worker
-	// goroutines (ProgXe engines only; others ignore it). The value is
-	// clamped to the server's MaxRunWorkers cap. Parallel runs stream the
-	// exact same results in the exact same order as serial ones — this
-	// knob trades CPU for latency, never determinism. 0 (the default)
-	// runs serial.
+	// Exec nests the run-shaping knobs (workers, committers, speculate,
+	// ranker) under one object — the preferred spelling, shared verbatim by
+	// /v1/query and /v1/subscribe. See ExecRequest for the field semantics
+	// and resolveExec for the clamp-vs-reject rules.
+	Exec *ExecRequest `json:"exec,omitempty"`
+	// Workers is the legacy flat spelling of Exec.Workers. Setting any flat
+	// knob together with the exec object is rejected (exec_conflict).
 	Workers int `json:"workers,omitempty"`
-	// Committers requests the partitioned commit stage with this many
-	// committer goroutines (ProgXe engines only; effective only on parallel
-	// runs, i.e. with workers ≥ 1). The value is clamped to the server's
-	// MaxRunCommitters cap. Like workers, this never changes the result
-	// stream. Negative values are rejected with 400: unlike workers (where
-	// 0 and "no parallelism" coincide), a negative committer count has no
-	// meaningful reading. 0 (the default) keeps commit on the sequencer.
+	// Committers is the legacy flat spelling of Exec.Committers.
 	Committers int `json:"committers,omitempty"`
-	// Speculate requests cross-round speculative pipelining up to this many
-	// rounds ahead (ProgXe engines only; effective only with workers ≥ 2
-	// and committers ≥ 1): upcoming rounds' phase-1 prechecks run against a
-	// stale snapshot while commits drain, with survivors revalidated
-	// against per-round deltas. The value is clamped to the server's
-	// MaxRunSpeculate cap. Like workers and committers, this never changes
-	// the result stream. Negative values are rejected with 400. 0 (the
-	// default) drains before every precheck.
+	// Speculate is the legacy flat spelling of Exec.Speculate.
 	Speculate int `json:"speculate,omitempty"`
-	// Ranker selects the progressive scheduler's benefit model (ProgXe
-	// engines only): "benefit-cost" (the default, Equation 8 with exact
-	// ProgCount) or "cardinality" (O(1) refreshes that skip ProgCount).
+	// Ranker is the legacy flat spelling of Exec.Ranker.
 	Ranker string `json:"ranker,omitempty"`
 	// Trace records a Chrome-trace document for this run (phase spans,
 	// region spans, emission instants), retrievable afterwards from
@@ -71,15 +57,15 @@ type QueryRequest struct {
 }
 
 // runRecord heads every stream: the run's id in the run log, the resolved
-// engine, output dimensions, and the worker count granted after clamping.
+// engine, output dimensions, and the exec knobs granted after clamping.
 type runRecord struct {
-	Type       string   `json:"type"` // "run"
-	ID         string   `json:"id"`
-	Engine     string   `json:"engine"`
-	Dims       []string `json:"dims"`
-	Workers    int      `json:"workers,omitempty"`
-	Committers int      `json:"committers,omitempty"`
-	Speculate  int      `json:"speculate,omitempty"`
+	Type   string   `json:"type"` // "run"
+	ID     string   `json:"id"`
+	Engine string   `json:"engine"`
+	Dims   []string `json:"dims"`
+	// Exec echoes the granted exec knobs as one object, mirroring the
+	// request's "exec" spelling.
+	Exec ExecInfo `json:"exec"`
 	// Cached reports that this run reused a compiled plan from the plan
 	// cache, skipping the partition / region-build / prune phases.
 	Cached bool `json:"cached,omitempty"`
@@ -219,37 +205,6 @@ func (s *Server) resolveTimeout(reqMillis int64) time.Duration {
 	return timeout
 }
 
-// clampParallelism grants the request's worker, committer, and speculation
-// counts under the server caps. Committers are zeroed on serial runs and
-// speculation on non-partitioned or single-lane ones: the engine would
-// ignore them, and granted-equals-effective keeps run records honest.
-func (s *Server) clampParallelism(reqWorkers, reqCommitters, reqSpeculate int) (workers, committers, speculate int) {
-	workers = reqWorkers
-	if workers < 0 {
-		workers = 0
-	}
-	if workers > s.cfg.MaxRunWorkers {
-		workers = s.cfg.MaxRunWorkers
-	}
-	committers = reqCommitters
-	if committers > s.cfg.MaxRunCommitters {
-		committers = s.cfg.MaxRunCommitters
-	}
-	if workers == 0 {
-		committers = 0
-	}
-	speculate = reqSpeculate
-	if speculate > s.cfg.MaxRunSpeculate {
-		speculate = s.cfg.MaxRunSpeculate
-	}
-	if committers == 0 || workers < 2 {
-		// The engine ignores speculation without a spare precheck lane to
-		// run the stale scans on; zeroing here keeps records honest.
-		speculate = 0
-	}
-	return workers, committers, speculate
-}
-
 // planFor resolves the compiled plan for key. With useCache, the plan cache
 // answers — a hit skips compilation and, for ProgXe-family engines, the
 // partition / region-build / prune phases entirely; a miss compiles once and
@@ -301,19 +256,19 @@ func (s *Server) planFor(key planKey, engine smj.Engine, q *query.Query, left, r
 // stats trailer, metrics, and the run log — shared by the solo and the
 // coalesced execution paths.
 type runResult struct {
-	runID, engineName, query       string
-	workers, committers, speculate int
-	cached                         bool
-	fanout                         int // subscribers ever attached; 0 = uncoalesced
-	start                          time.Time
-	elapsed, ttfr                  time.Duration
-	seq                            int
-	limitHit                       bool
-	runErr                         error
-	progress                       obs.Quantiles
-	phases                         obs.Report
-	engineStats                    smj.Stats
-	trace                          []byte
+	runID, engineName, query string
+	exec                     ExecInfo
+	cached                   bool
+	fanout                   int // subscribers ever attached; 0 = uncoalesced
+	start                    time.Time
+	elapsed, ttfr            time.Duration
+	seq                      int
+	limitHit                 bool
+	runErr                   error
+	progress                 obs.Quantiles
+	phases                   obs.Report
+	engineStats              smj.Stats
+	trace                    []byte
 }
 
 // finishRun settles a completed engine run: outcome classification, the
@@ -364,7 +319,7 @@ func (s *Server) finishRun(res runResult) statsRecord {
 	}
 	s.runlog.add(RunRecord{
 		ID: res.runID, Engine: res.engineName, Query: truncate(res.query, 512),
-		Workers: res.workers, Committers: res.committers, Speculate: res.speculate, Start: res.start,
+		Exec: res.exec, Start: res.start,
 		ElapsedMillis: rec.ElapsedMillis,
 		Outcome:       outcomeName, Reason: rec.Reason, Error: rec.Error,
 		Results: res.seq, Cached: res.cached, Subscribers: res.fanout,
@@ -409,14 +364,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad query request: %v", err)
+		writeError(w, http.StatusBadRequest, errBadRequest, "bad query request: %v", err)
 		return
 	}
 
 	// An explicit format in the body wins; the Accept header only decides
 	// when the body names none.
 	if req.Format != "" && !strings.EqualFold(req.Format, "sse") && !strings.EqualFold(req.Format, "ndjson") {
-		writeError(w, http.StatusBadRequest, "unknown format %q (want ndjson or sse)", req.Format)
+		writeError(w, http.StatusBadRequest, errBadFormat, "unknown format %q (want ndjson or sse)", req.Format)
 		return
 	}
 	sse := strings.EqualFold(req.Format, "sse") ||
@@ -426,17 +381,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = s.cfg.DefaultEngine
 	}
-	if req.Committers < 0 {
-		writeError(w, http.StatusBadRequest, "committers must be >= 0, got %d", req.Committers)
-		return
-	}
-	if req.Speculate < 0 {
-		writeError(w, http.StatusBadRequest, "speculate must be >= 0, got %d", req.Speculate)
-		return
-	}
-	ranker, err := core.ParseRanker(req.Ranker)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	exec, ranker, herr := s.resolveExec(&req)
+	if herr != nil {
+		writeError(w, herr.status, herr.code, "%s", herr.msg)
 		return
 	}
 
@@ -445,28 +392,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// relation versions pin exactly the snapshots this run will see.
 	q, err := query.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadQuery, "%v", err)
 		return
 	}
 	left, leftVer, ok := s.catalog.GetVersioned(q.From[0].Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[0].Table)
+		writeError(w, http.StatusNotFound, errRelationNotFound, "relation %q is not in the catalog", q.From[0].Table)
 		return
 	}
 	right, rightVer, ok := s.catalog.GetVersioned(q.From[1].Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", q.From[1].Table)
+		writeError(w, http.StatusNotFound, errRelationNotFound, "relation %q is not in the catalog", q.From[1].Table)
 		return
 	}
 	timeout := s.resolveTimeout(req.TimeoutMillis)
-	workers, committers, speculate := s.clampParallelism(req.Workers, req.Committers, req.Speculate)
 	key := planKey{
 		engine: strings.ToLower(engineName), query: q.String(),
 		leftVer: leftVer, rightVer: rightVer,
 	}
 
 	if s.coal != nil && !req.Trace {
-		s.handleCoalesced(w, r, req, sse, engineName, ranker, q, key, left, right, timeout, workers, committers, speculate)
+		s.handleCoalesced(w, r, req, sse, engineName, ranker, q, key, left, right, timeout, exec)
 		return
 	}
 
@@ -480,7 +426,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		s.metrics.runRejected()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, errBusy,
 			"all %d run slots are busy; retry shortly", s.adm.capacity())
 		return
 	}
@@ -499,20 +445,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := s.cfg.NewEngine(engineName, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errUnknownEngine, "%v", err)
 		return
 	}
 
 	// Trace runs bypass the plan cache: a cached plan was prepared by some
 	// earlier run, so reusing it would leave the trace without its setup
 	// spans — a trace documents one complete run.
-	entry, cached, err := s.planFor(key, engine, q, left, right, workers, !req.Trace)
+	entry, cached, err := s.planFor(key, engine, q, left, right, exec.Workers, !req.Trace)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, errBadQuery
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, errUnavailable
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
 
@@ -529,14 +475,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Per-request parallelism, clamped by the server cap. The request is
 	// threaded through the context so any ContextEngine can honor it; the
 	// run record reports what was granted.
-	if workers > 0 {
-		ctx = smj.WithParallelism(ctx, workers)
+	if exec.Workers > 0 {
+		ctx = smj.WithParallelism(ctx, exec.Workers)
 	}
-	if committers > 0 {
-		ctx = smj.WithCommitters(ctx, committers)
+	if exec.Committers > 0 {
+		ctx = smj.WithCommitters(ctx, exec.Committers)
 	}
-	if speculate > 0 {
-		ctx = smj.WithSpeculate(ctx, speculate)
+	if exec.Speculate > 0 {
+		ctx = smj.WithSpeculate(ctx, exec.Speculate)
 	}
 	// Service shutdown aborts in-flight runs so graceful drains finish
 	// within their window instead of waiting out every stream.
@@ -552,7 +498,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sw.f, _ = w.(http.Flusher)
 	defer sw.end()
 	sw.begin()
-	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(), Workers: workers, Committers: committers, Speculate: speculate, Cached: cached})
+	sw.record("run", runRecord{Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(), Exec: exec, Cached: cached})
 
 	s.metrics.runStarted()
 	start := time.Now()
@@ -610,7 +556,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := s.finishRun(runResult{
 		runID: runID, engineName: engine.Name(), query: req.Query,
-		workers: workers, committers: committers, speculate: speculate, cached: cached,
+		exec: exec, cached: cached,
 		start: start, elapsed: elapsed, ttfr: ttfr,
 		seq: seq, limitHit: limitHit, runErr: runErr,
 		progress: timeline.Quantiles(), phases: prof.Report(),
@@ -626,23 +572,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // then streams the same byte-identical records from the group's replay ring.
 func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req QueryRequest, sse bool,
 	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
-	left, right *relation.Relation, timeout time.Duration, workers, committers, speculate int) {
+	left, right *relation.Relation, timeout time.Duration, exec ExecInfo) {
 
 	ckey := coalesceKey{
-		plan: key, ranker: ranker, limit: req.Limit,
-		workers: workers, committers: committers, speculate: speculate,
+		plan: key, limit: req.Limit, exec: exec,
 		timeoutMillis: int64(timeout / time.Millisecond),
 	}
 	g, leader, ok := s.coal.joinOrLead(ckey, s.adm, s.metrics.coalescedAttach)
 	if !ok {
 		s.metrics.runRejected()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, errBusy,
 			"all %d run slots are busy; retry shortly", s.adm.capacity())
 		return
 	}
 	if leader {
-		s.startCoalesced(g, req, engineName, ranker, q, key, left, right, timeout, workers, committers, speculate)
+		s.startCoalesced(g, req, engineName, ranker, q, key, left, right, timeout, exec)
 	}
 	s.streamGroup(w, r, g, sse)
 }
@@ -653,36 +598,36 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, req Que
 // error: every subscriber (the leader included) reports it identically.
 func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 	engineName string, ranker core.RankerKind, q *query.Query, key planKey,
-	left, right *relation.Relation, timeout time.Duration, workers, committers, speculate int) {
+	left, right *relation.Relation, timeout time.Duration, exec ExecInfo) {
 
 	// Until the run goroutine owns the group, every exit — error or panic —
 	// must resolve the group and return the admission slot it holds.
 	started := false
-	failStatus, failMsg := http.StatusInternalServerError, "internal error during run setup"
+	failStatus, failCode, failMsg := http.StatusInternalServerError, errInternal, "internal error during run setup"
 	defer func() {
 		if !started {
 			s.coal.remove(g)
-			g.failPre(failStatus, failMsg)
+			g.failPre(failStatus, failCode, failMsg)
 			g.release()
 		}
 	}()
-	fail := func(status int, format string, args ...any) {
-		failStatus, failMsg = status, fmt.Sprintf(format, args...)
+	fail := func(status int, code, format string, args ...any) {
+		failStatus, failCode, failMsg = status, code, fmt.Sprintf(format, args...)
 	}
 
 	prof := obs.NewProfiler()
 	engine, err := s.cfg.NewEngine(engineName, core.Options{Ranker: ranker, Profiler: prof})
 	if err != nil {
-		fail(http.StatusBadRequest, "%v", err)
+		fail(http.StatusBadRequest, errUnknownEngine, "%v", err)
 		return
 	}
-	entry, cached, err := s.planFor(key, engine, q, left, right, workers, true)
+	entry, cached, err := s.planFor(key, engine, q, left, right, exec.Workers, true)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, errBadQuery
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, errUnavailable
 		}
-		fail(status, "%v", err)
+		fail(status, code, "%v", err)
 		return
 	}
 
@@ -696,14 +641,14 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 		ctx, cancelT = context.WithTimeout(ctx, timeout)
 	}
 	ctx, cancelRun := context.WithCancel(ctx)
-	if workers > 0 {
-		ctx = smj.WithParallelism(ctx, workers)
+	if exec.Workers > 0 {
+		ctx = smj.WithParallelism(ctx, exec.Workers)
 	}
-	if committers > 0 {
-		ctx = smj.WithCommitters(ctx, committers)
+	if exec.Committers > 0 {
+		ctx = smj.WithCommitters(ctx, exec.Committers)
 	}
-	if speculate > 0 {
-		ctx = smj.WithSpeculate(ctx, speculate)
+	if exec.Speculate > 0 {
+		ctx = smj.WithSpeculate(ctx, exec.Speculate)
 	}
 	g.mu.Lock()
 	g.cancel = func() { cancelRun(); cancelT() }
@@ -712,11 +657,11 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 	runID := s.runlog.newID()
 	g.appendJSON("run", runRecord{
 		Type: "run", ID: runID, Engine: engine.Name(), Dims: entry.problem.Maps.Names(),
-		Workers: workers, Committers: committers, Speculate: speculate, Cached: cached,
+		Exec: exec, Cached: cached,
 	})
 	go s.runCoalesced(g, runSpec{
 		runID: runID, engineName: engine.Name(), query: req.Query,
-		workers: workers, committers: committers, speculate: speculate, limit: req.Limit,
+		exec: exec, limit: req.Limit,
 		cached: cached, prof: prof,
 		run: func(sink smj.Sink) (smj.Stats, error) {
 			defer cancelRun()
@@ -732,12 +677,12 @@ func (s *Server) startCoalesced(g *runGroup, req QueryRequest,
 
 // runSpec is what the coalesced run goroutine needs from leader setup.
 type runSpec struct {
-	runID, engineName, query       string
-	workers, committers, speculate int
-	limit                          int
-	cached                         bool
-	prof                           *obs.Profiler
-	run                            func(smj.Sink) (smj.Stats, error)
+	runID, engineName, query string
+	exec                     ExecInfo
+	limit                    int
+	cached                   bool
+	prof                     *obs.Profiler
+	run                      func(smj.Sink) (smj.Stats, error)
 }
 
 // truncate caps a string kept in the run log.

@@ -13,12 +13,12 @@ import (
 // served from GET /v1/runs: identity, outcome, the progressiveness
 // quantiles, and the phase breakdown.
 type RunRecord struct {
-	ID            string    `json:"id"`
-	Engine        string    `json:"engine"`
-	Query         string    `json:"query,omitempty"`
-	Workers       int       `json:"workers,omitempty"`
-	Committers    int       `json:"committers,omitempty"`
-	Speculate     int       `json:"speculate,omitempty"`
+	ID     string `json:"id"`
+	Engine string `json:"engine"`
+	Query  string `json:"query,omitempty"`
+	// Exec echoes the run-shaping knobs the run was granted — the same
+	// object the stream's run record carries.
+	Exec          ExecInfo  `json:"exec"`
 	Start         time.Time `json:"start"`
 	ElapsedMillis float64   `json:"elapsedMillis"`
 	Outcome       string    `json:"outcome"` // completed | canceled | failed

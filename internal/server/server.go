@@ -19,7 +19,9 @@
 //	PUT    /v1/relations/{name}  upload a relation as CSV
 //	GET    /v1/relations/{name}  download a relation as CSV
 //	DELETE /v1/relations/{name}  drop a relation
+//	POST   /v1/relations/{name}/changes  apply a batch of single-tuple changes (NDJSON/CSV feed lines)
 //	POST   /v1/query             evaluate a PREFERRING query, streaming results
+//	POST   /v1/subscribe         live query: stream the result set, then maintain it over catalog changes
 //	GET    /v1/stats             service counters (JSON)
 //	GET    /v1/runs              recent run records (phase breakdown + progressiveness quantiles)
 //	GET    /v1/runs/{id}         one run record
@@ -36,6 +38,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"progxe/internal/core"
@@ -61,6 +64,14 @@ const (
 	// run) the serve binary enables coalescing with; exported so the flag
 	// default and the Config documentation agree.
 	DefaultCoalesceReplay = 16384
+	// defaultMaxSubscriptions bounds concurrent live subscriptions; they
+	// hold resident output-space state, so they are admitted separately from
+	// (and do not compete with) one-shot query runs.
+	defaultMaxSubscriptions = 32
+	// defaultChangeLogSize bounds the server-wide change ring subscriptions
+	// replay; a subscription that falls further behind is terminated with
+	// replay_truncated rather than stalling the feed.
+	defaultChangeLogSize = 16384
 	// maxGeneratedDims bounds the dimensionality of one synthetic relation;
 	// together with the row cap and the catalog-entry cap it bounds the
 	// memory unauthenticated registration requests can pin (skyline queries
@@ -139,9 +150,20 @@ type Config struct {
 	// Catalog mutations bump relation versions, invalidating stale entries
 	// by key miss. Default 128 entries; negative disables the cache.
 	PlanCacheSize int
+	// MaxSubscriptions bounds concurrent live subscriptions (POST
+	// /v1/subscribe); further subscribe requests are rejected with 429 until
+	// one detaches. Subscriptions hold their output space resident, so this
+	// is a memory bound as much as a concurrency one. Default 32; negative
+	// disables subscriptions (every subscribe is rejected).
+	MaxSubscriptions int
+	// ChangeLogSize bounds the server-wide ring of recent catalog change
+	// events that live subscriptions replay. The feed writer never waits for
+	// a subscriber; one that falls off the ring's tail is terminated with
+	// replay_truncated. Default 16384 events.
+	ChangeLogSize int
 	// CoalesceReplay enables single-flight run coalescing: concurrent
-	// identical query requests (same plan key, ranker, limit, workers,
-	// committers, timeout; trace requests excluded) share one engine run,
+	// identical query requests (same plan key, limit, granted exec knobs,
+	// timeout; trace requests excluded) share one engine run,
 	// each subscriber replaying the same encoded record stream. The value
 	// bounds the per-run replay ring in records — a subscriber that falls
 	// further behind than this is terminated with a truncated-replay error
@@ -221,6 +243,15 @@ func (c Config) withDefaults() Config {
 	if c.CoalesceReplay < 0 {
 		c.CoalesceReplay = 0 // coalescing disabled (also the zero default)
 	}
+	if c.MaxSubscriptions == 0 {
+		c.MaxSubscriptions = defaultMaxSubscriptions
+	}
+	if c.MaxSubscriptions < 0 {
+		c.MaxSubscriptions = 0 // subscriptions disabled
+	}
+	if c.ChangeLogSize <= 0 {
+		c.ChangeLogSize = defaultChangeLogSize
+	}
 	return c
 }
 
@@ -236,6 +267,13 @@ type Server struct {
 	logger  *slog.Logger
 	plans   *planCache // nil when the plan cache is disabled
 	coal    *coalescer // nil when run coalescing is disabled
+
+	// mutMu serializes catalog mutations with their change-ring publication,
+	// so the ring's event order matches the sequence of catalog states (and
+	// every event's seq is the catalog generation it produced).
+	mutMu   sync.Mutex
+	changes *changeLog
+	subAdm  *admission // subscription slots, separate from query-run slots
 
 	// runCtx is done once CancelRuns is called; every engine run's context
 	// is tied to it so a graceful shutdown can abort in-flight streams.
@@ -261,6 +299,10 @@ func New(cfg Config) *Server {
 	if s.cfg.CoalesceReplay > 0 {
 		s.coal = newCoalescer(s.cfg.CoalesceReplay)
 	}
+	s.changes = newChangeLog(s.cfg.ChangeLogSize)
+	if s.cfg.MaxSubscriptions > 0 {
+		s.subAdm = newAdmission(s.cfg.MaxSubscriptions)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -272,7 +314,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/relations/{name}", s.handleUploadRelation)
 	s.mux.HandleFunc("GET /v1/relations/{name}", s.handleDownloadRelation)
 	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleDeleteRelation)
+	s.mux.HandleFunc("POST /v1/relations/{name}/changes", s.handleApplyChanges)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metrics.snapshot())
 	})
@@ -282,7 +326,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := s.runlog.get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "run %q is not in the run log", r.PathValue("id"))
+			writeError(w, http.StatusNotFound, errRunNotFound, "run %q is not in the run log", r.PathValue("id"))
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
@@ -290,7 +334,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		b, ok := s.runlog.trace(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "run %q has no stored trace (request with \"trace\": true)", r.PathValue("id"))
+			writeError(w, http.StatusNotFound, errTraceNotFound, "run %q has no stored trace (request with \"trace\": true)", r.PathValue("id"))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -329,11 +373,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // GenerateRequest is the body of POST /v1/relations: a datagen spec plus the
 // name to register under.
 type GenerateRequest struct {
@@ -349,26 +388,26 @@ func (s *Server) handleGenerateRelation(w http.ResponseWriter, r *http.Request) 
 	var req GenerateRequest
 	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad generate spec: %v", err)
+		writeError(w, http.StatusBadRequest, errBadRelation, "bad generate spec: %v", err)
 		return
 	}
 	if !validName(req.Name) {
-		writeError(w, http.StatusBadRequest, "relation name %q is not a valid identifier", req.Name)
+		writeError(w, http.StatusBadRequest, errBadRelation, "relation name %q is not a valid identifier", req.Name)
 		return
 	}
 	if req.Rows > s.cfg.MaxGeneratedRows {
-		writeError(w, http.StatusBadRequest, "rows %d exceeds the per-relation cap %d", req.Rows, s.cfg.MaxGeneratedRows)
+		writeError(w, http.StatusBadRequest, errBadRelation, "rows %d exceeds the per-relation cap %d", req.Rows, s.cfg.MaxGeneratedRows)
 		return
 	}
 	if req.Dims > maxGeneratedDims {
-		writeError(w, http.StatusBadRequest, "dims %d exceeds the cap %d", req.Dims, maxGeneratedDims)
+		writeError(w, http.StatusBadRequest, errBadRelation, "dims %d exceeds the cap %d", req.Dims, maxGeneratedDims)
 		return
 	}
 	dist := datagen.Independent
 	if req.Distribution != "" {
 		var err error
 		if dist, err = datagen.ParseDistribution(req.Distribution); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, errBadRelation, "%v", err)
 			return
 		}
 	}
@@ -381,7 +420,7 @@ func (s *Server) handleGenerateRelation(w http.ResponseWriter, r *http.Request) 
 		Distribution: dist, Selectivity: sel, Seed: req.Seed,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadRelation, "%v", err)
 		return
 	}
 	if !s.registerCapped(w, rel) {
@@ -393,16 +432,24 @@ func (s *Server) handleGenerateRelation(w http.ResponseWriter, r *http.Request) 
 }
 
 // registerCapped registers a network-supplied relation against the catalog
-// entry cap, writing the HTTP error itself on failure.
+// entry cap, writing the HTTP error itself on failure. A registration that
+// replaces an existing name publishes a relation_replaced event so live
+// subscriptions on it terminate — their resident snapshot has diverged
+// beyond incremental repair.
 func (s *Server) registerCapped(w http.ResponseWriter, rel *relation.Relation) bool {
-	err := s.catalog.RegisterCapped(rel, s.cfg.MaxRelations, s.cfg.MaxTotalRows)
+	s.mutMu.Lock()
+	ver, replaced, err := s.catalog.RegisterCappedVersioned(rel, s.cfg.MaxRelations, s.cfg.MaxTotalRows)
+	if err == nil && replaced {
+		s.publishCatalogEvent(ver, rel.Schema.Name, eventReplaced)
+	}
+	s.mutMu.Unlock()
 	switch {
 	case err == nil:
 		return true
 	case errors.As(err, &ErrCatalogFull{}):
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, errCatalogFull, "%v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadRelation, "%v", err)
 	}
 	return false
 }
@@ -410,13 +457,13 @@ func (s *Server) registerCapped(w http.ResponseWriter, rel *relation.Relation) b
 func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !validName(name) {
-		writeError(w, http.StatusBadRequest, "relation name %q is not a valid identifier", name)
+		writeError(w, http.StatusBadRequest, errBadRelation, "relation name %q is not a valid identifier", name)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	rel, err := relation.ReadCSV(name, body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadRelation, "%v", err)
 		return
 	}
 	if !s.registerCapped(w, rel) {
@@ -431,7 +478,7 @@ func (s *Server) handleDownloadRelation(w http.ResponseWriter, r *http.Request) 
 	name := r.PathValue("name")
 	rel, ok := s.catalog.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", name)
+		writeError(w, http.StatusNotFound, errRelationNotFound, "relation %q is not in the catalog", name)
 		return
 	}
 	if s.cfg.WriteStallTimeout > 0 {
@@ -449,8 +496,16 @@ func (s *Server) handleDownloadRelation(w http.ResponseWriter, r *http.Request) 
 
 func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.catalog.Remove(name) {
-		writeError(w, http.StatusNotFound, "relation %q is not in the catalog", name)
+	s.mutMu.Lock()
+	ver, ok := s.catalog.RemoveVersioned(name)
+	if ok {
+		// Terminate live subscriptions on the dropped relation; in-flight
+		// one-shot runs keep their admission-time snapshot, as before.
+		s.publishCatalogEvent(ver, name, eventDropped)
+	}
+	s.mutMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errRelationNotFound, "relation %q is not in the catalog", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})

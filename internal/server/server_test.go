@@ -201,18 +201,24 @@ func TestGenerateRelationEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryValidationErrors pins the one structured error shape every HTTP
+// error body carries: {"type":"error","code":<stable-slug>,"message":...},
+// with the code identifying the failure class.
 func TestQueryValidationErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
 		name   string
 		req    QueryRequest
 		status int
+		code   string
 	}{
-		{"malformed query", QueryRequest{Query: "SELECT FROM WHERE"}, http.StatusBadRequest},
-		{"unknown relation", QueryRequest{Query: strings.ReplaceAll(tinyQuery, "L L", "Nope L")}, http.StatusNotFound},
-		{"unknown attribute", QueryRequest{Query: strings.ReplaceAll(tinyQuery, "L.price", "L.nosuch")}, http.StatusBadRequest},
-		{"unknown engine", QueryRequest{Query: tinyQuery, Engine: "quantum"}, http.StatusBadRequest},
-		{"unknown format", QueryRequest{Query: tinyQuery, Format: "xml"}, http.StatusBadRequest},
+		{"malformed query", QueryRequest{Query: "SELECT FROM WHERE"}, http.StatusBadRequest, "bad_query"},
+		{"unknown relation", QueryRequest{Query: strings.ReplaceAll(tinyQuery, "L L", "Nope L")}, http.StatusNotFound, "relation_not_found"},
+		{"unknown attribute", QueryRequest{Query: strings.ReplaceAll(tinyQuery, "L.price", "L.nosuch")}, http.StatusBadRequest, "bad_query"},
+		{"unknown engine", QueryRequest{Query: tinyQuery, Engine: "quantum"}, http.StatusBadRequest, "unknown_engine"},
+		{"unknown format", QueryRequest{Query: tinyQuery, Format: "xml"}, http.StatusBadRequest, "bad_format"},
+		{"unknown ranker", QueryRequest{Query: tinyQuery, Ranker: "nope"}, http.StatusBadRequest, "bad_exec"},
+		{"exec conflict", QueryRequest{Query: tinyQuery, Workers: 1, Exec: &ExecRequest{Workers: 2}}, http.StatusBadRequest, "exec_conflict"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -222,11 +228,12 @@ func TestQueryValidationErrors(t *testing.T) {
 				b, _ := io.ReadAll(resp.Body)
 				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, c.status, b)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			var e errorRecord
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 				t.Fatalf("error envelope missing (err %v)", err)
+			}
+			if e.Type != "error" || e.Code != c.code || e.Message == "" {
+				t.Fatalf("error envelope = %+v, want type=error code=%q with a message", e, c.code)
 			}
 		})
 	}

@@ -30,17 +30,18 @@ func TestSpeculateQueryMatchesSerial(t *testing.T) {
 	}
 
 	serialRun, serial := collect(QueryRequest{Query: q, Engine: "progxe"})
-	if sp, ok := serialRun["speculate"]; ok && sp != float64(0) {
+	if sp, ok := execObj(t, serialRun)["speculate"]; ok && sp != float64(0) {
 		t.Fatalf("serial run record advertises speculate=%v", sp)
 	}
 
 	// Ask for more than the cap: clamped to MaxRunSpeculate, echoed back.
 	specRun, pipelined := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 2, Speculate: 64})
-	if specRun["speculate"] != float64(2) {
-		t.Fatalf("run record speculate = %v, want 2 (clamped)", specRun["speculate"])
+	specExec := execObj(t, specRun)
+	if specExec["speculate"] != float64(2) {
+		t.Fatalf("run record speculate = %v, want 2 (clamped)", specExec["speculate"])
 	}
-	if specRun["workers"] != float64(2) || specRun["committers"] != float64(2) {
-		t.Fatalf("run record workers=%v committers=%v, want 2/2", specRun["workers"], specRun["committers"])
+	if specExec["workers"] != float64(2) || specExec["committers"] != float64(2) {
+		t.Fatalf("run record workers=%v committers=%v, want 2/2", specExec["workers"], specExec["committers"])
 	}
 
 	if len(serial) != len(pipelined) || len(serial) == 0 {
@@ -58,7 +59,7 @@ func TestSpeculateQueryMatchesSerial(t *testing.T) {
 	// stage that lives on the sequencer — granted 0 and echoed as absent,
 	// never silently half-applied.
 	soloRun, solo := collect(QueryRequest{Query: q, Engine: "progxe", Workers: 2, Speculate: 2})
-	if sp, ok := soloRun["speculate"]; ok && sp != float64(0) {
+	if sp, ok := execObj(t, soloRun)["speculate"]; ok && sp != float64(0) {
 		t.Fatalf("non-partitioned run granted speculate=%v", sp)
 	}
 	if len(solo) != len(serial) {
@@ -71,9 +72,9 @@ func TestSpeculateQueryMatchesSerial(t *testing.T) {
 	if !ok {
 		t.Fatalf("run %q not in the run log", runID)
 	}
-	if rec.Speculate != 2 || rec.Committers != 2 || rec.Workers != 2 {
+	if rec.Exec.Speculate != 2 || rec.Exec.Committers != 2 || rec.Exec.Workers != 2 {
 		t.Fatalf("run log records workers=%d committers=%d speculate=%d, want 2/2/2",
-			rec.Workers, rec.Committers, rec.Speculate)
+			rec.Exec.Workers, rec.Exec.Committers, rec.Exec.Speculate)
 	}
 }
 
@@ -97,7 +98,7 @@ func TestMaxRunSpeculateDisabled(t *testing.T) {
 	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe", Workers: 2, Committers: 2, Speculate: 8})
 	defer resp.Body.Close()
 	recs := decodeNDJSON(t, resp.Body)
-	if sp, ok := recs[0]["speculate"]; ok && sp != float64(0) {
+	if sp, ok := execObj(t, recs[0])["speculate"]; ok && sp != float64(0) {
 		t.Fatalf("disabled cap still granted speculate=%v", sp)
 	}
 	if recs[len(recs)-1]["error"] != nil {

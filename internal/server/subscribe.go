@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"progxe/internal/core"
+	"progxe/internal/feed"
+	"progxe/internal/mapping"
+	"progxe/internal/query"
+	"progxe/internal/relation"
+	"progxe/internal/smj"
+)
+
+// retractRecord withdraws a previously streamed result: a base-relation
+// change killed the pair (its input was deleted, or a new tuple dominates
+// it). Seq is the catalog change sequence that caused the retraction.
+type retractRecord struct {
+	Type          string  `json:"type"` // "retract"
+	Seq           uint64  `json:"seq,omitempty"`
+	LeftID        int64   `json:"leftId"`
+	RightID       int64   `json:"rightId"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// checkpointRecord marks the stream consistent: every result and retract
+// implied by catalog changes up to Seq has been emitted. One follows the
+// initial snapshot and one follows each applied change.
+type checkpointRecord struct {
+	Type          string  `json:"type"` // "checkpoint"
+	Seq           uint64  `json:"seq"`
+	Live          int     `json:"live"` // net result-set size at this point
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// liveStreamSink adapts the subscription's stream writer to core.LiveSink,
+// numbering results and stamping elapsed time like the query path does.
+type liveStreamSink struct {
+	sw    *streamWriter
+	start time.Time
+	seq   uint64 // catalog seq of the change being applied; 0 during snapshot
+	n     int    // results emitted
+	live  int    // net result-set size
+	retr  int64  // retractions emitted
+}
+
+func (ls *liveStreamSink) Result(r smj.Result) {
+	ls.n++
+	ls.live++
+	ls.sw.record("result", resultRecord{
+		Type: "result", Seq: ls.n,
+		LeftID: r.LeftID, RightID: r.RightID, Out: r.Out,
+		ElapsedMillis: float64(time.Since(ls.start).Microseconds()) / 1000,
+	})
+}
+
+func (ls *liveStreamSink) Retract(leftID, rightID int64) {
+	ls.retr++
+	ls.live--
+	ls.sw.record("retract", retractRecord{
+		Type: "retract", Seq: ls.seq,
+		LeftID: leftID, RightID: rightID,
+		ElapsedMillis: float64(time.Since(ls.start).Microseconds()) / 1000,
+	})
+}
+
+// handleSubscribe is POST /v1/subscribe: a never-ending live query. The body
+// is the QueryRequest schema shared with /v1/query (same exec object, same
+// flat-field compatibility); trace and limit are meaningless on an unbounded
+// stream and rejected. The handler materializes the query's output space
+// once, streams the current result set, then holds the survivor state
+// resident and folds in every catalog change to the subscribed relations —
+// emitting result records for new skyline members, retract records for
+// killed ones, and a checkpoint record after the snapshot and after each
+// applied change. The stream ends when the client disconnects, the server
+// shuts down, a subscribed relation is dropped or wholesale-replaced, or the
+// subscription falls off the bounded change ring (replay_truncated).
+//
+// Exec parallelism knobs are validated and accepted but not granted: live
+// maintenance is serial by design (each change's repair work is tiny), so
+// the echoed exec object reports zero workers/committers/speculate.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, defaultMaxQueryBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errBadRequest, "bad subscribe request: %v", err)
+		return
+	}
+	if req.Format != "" && !strings.EqualFold(req.Format, "sse") && !strings.EqualFold(req.Format, "ndjson") {
+		writeError(w, http.StatusBadRequest, errBadFormat, "unknown format %q (want ndjson or sse)", req.Format)
+		return
+	}
+	sse := strings.EqualFold(req.Format, "sse") ||
+		(req.Format == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream"))
+	if req.Trace {
+		writeError(w, http.StatusBadRequest, errBadRequest, "subscriptions do not record traces")
+		return
+	}
+	if req.Limit != 0 {
+		writeError(w, http.StatusBadRequest, errBadRequest, "subscriptions stream indefinitely; limit is not supported")
+		return
+	}
+	if req.Engine != "" && !strings.EqualFold(req.Engine, "live") {
+		writeError(w, http.StatusBadRequest, errUnknownEngine,
+			"subscriptions run the live maintenance engine; engine %q is not selectable here", req.Engine)
+		return
+	}
+	exec, _, herr := s.resolveExec(&req)
+	if herr != nil {
+		writeError(w, herr.status, herr.code, "%s", herr.msg)
+		return
+	}
+	// Live maintenance is serial; report what is granted, not what was asked.
+	exec.Workers, exec.Committers, exec.Speculate = 0, 0, 0
+
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadQuery, "%v", err)
+		return
+	}
+
+	if s.subAdm == nil {
+		writeError(w, http.StatusServiceUnavailable, errUnavailable,
+			"subscriptions are disabled on this server")
+		return
+	}
+	release, ok := s.subAdm.tryAcquire()
+	if !ok {
+		s.metrics.runRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errBusy,
+			"all %d subscription slots are busy; retry shortly", s.subAdm.capacity())
+		return
+	}
+	defer release()
+
+	// The change-ring cursor is taken BEFORE the snapshots: an event
+	// published after the cursor but before GetVersioned is both in the
+	// snapshot and on the ring, and the per-side seq check below skips it.
+	// (Catalog mutations register before publishing, so the converse — an
+	// event missed by both — cannot happen.)
+	cursor := s.changes.cursor()
+	vers := map[string]uint64{}
+	rels := map[string]*relation.Relation{}
+	for _, f := range []string{q.From[0].Table, q.From[1].Table} {
+		rel, ver, ok := s.catalog.GetVersioned(f)
+		if !ok {
+			writeError(w, http.StatusNotFound, errRelationNotFound, "relation %q is not in the catalog", f)
+			return
+		}
+		rels[f], vers[f] = rel, ver
+	}
+	plan, err := q.CompileLive(rels[q.From[0].Table], rels[q.From[1].Table])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadQuery, "%v", err)
+		return
+	}
+	space, err := core.NewLiveSpace(plan.Problem)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadQuery, "%v", err)
+		return
+	}
+	sideVer := [2]uint64{vers[plan.Tables[0]], vers[plan.Tables[1]]}
+
+	// Subscription lifetime: client disconnect or server shutdown. No
+	// timeout — the stream is meant to outlive any single run.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.runCtx, cancel)()
+	// Parked cond-waits on the change ring cannot observe cancellation; a
+	// broadcast wakes this subscription (and harmlessly the others).
+	defer context.AfterFunc(ctx, s.changes.wake)()
+
+	sw := &streamWriter{
+		w: w, sse: sse,
+		rc:     http.NewResponseController(w),
+		stall:  s.cfg.WriteStallTimeout,
+		onFail: cancel,
+	}
+	sw.f, _ = w.(http.Flusher)
+	defer sw.end()
+	sw.begin()
+
+	runID := s.runlog.newID()
+	s.metrics.subStarted()
+	start := time.Now()
+	sw.record("run", runRecord{
+		Type: "run", ID: runID, Engine: "live",
+		Dims: plan.Problem.Maps.Names(), Exec: exec,
+	})
+
+	sink := &liveStreamSink{sw: sw, start: start}
+	space.Snapshot(sink)
+	maxVer := sideVer[0]
+	if sideVer[1] > maxVer {
+		maxVer = sideVer[1]
+	}
+	checkpoint := func(seq uint64) {
+		sw.record("checkpoint", checkpointRecord{
+			Type: "checkpoint", Seq: seq, Live: sink.live,
+			ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	checkpoint(maxVer)
+
+	var endRec *errorRecord
+	applied := int64(0)
+loop:
+	for {
+		batch, next, truncated := s.changes.next(cursor, func() bool { return ctx.Err() != nil })
+		if truncated {
+			rec := newErrorRecord(errReplayTruncated,
+				"change ring truncated: subscription fell too far behind the feed")
+			endRec = &rec
+			s.metrics.replayTruncation()
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		cursor = next
+		for _, ev := range batch {
+			side := -1
+			for i, tbl := range plan.Tables {
+				if tbl == ev.relation {
+					side = i
+				}
+			}
+			if side < 0 {
+				continue // a relation this subscription does not read
+			}
+			switch ev.kind {
+			case eventDropped:
+				rec := newErrorRecord(errRelationDropped,
+					"relation %q was dropped; subscription terminated", ev.relation)
+				endRec = &rec
+				break loop
+			case eventReplaced:
+				rec := newErrorRecord(errRelationReplaced,
+					"relation %q was replaced wholesale; re-subscribe for the new snapshot", ev.relation)
+				endRec = &rec
+				break loop
+			}
+			if ev.seq <= sideVer[side] {
+				continue // already part of this side's admission snapshot
+			}
+			c := ev.change
+			sink.seq = ev.seq
+			sd := mapping.Side(side)
+			var applyErr error
+			switch c.Op {
+			case feed.OpInsert:
+				t := relation.Tuple{ID: c.ID, Vals: c.Vals, JoinKey: c.JoinKey}
+				if pred := plan.Preds[side]; pred != nil && !pred.Eval(rels[ev.relation].Schema, t) {
+					// Filtered out by the query's selections: the change is
+					// applied (it advances the checkpoint) but contributes
+					// nothing to the output space.
+				} else {
+					applyErr = space.ApplyInsert(sd, t, sink)
+				}
+			case feed.OpDelete:
+				if space.Has(sd, c.ID) {
+					applyErr = space.ApplyDelete(sd, c.ID, sink)
+				}
+				// else: the tuple never passed this subscription's filters.
+			}
+			if applyErr != nil {
+				rec := newErrorRecord(errInternal, "applying change seq %d: %v", ev.seq, applyErr)
+				endRec = &rec
+				break loop
+			}
+			applied++
+			checkpoint(ev.seq)
+			if sw.fail {
+				break loop
+			}
+		}
+	}
+
+	if endRec != nil && !sw.fail {
+		sw.record("error", *endRec)
+	}
+	elapsed := time.Since(start)
+	s.metrics.subFinished(applied, sink.retr)
+
+	outcome, reason, errMsg := "canceled", "disconnect", ""
+	switch {
+	case endRec != nil:
+		outcome, reason = "failed", ""
+		errMsg = endRec.Message
+	case s.runCtx.Err() != nil:
+		reason = "shutdown"
+	}
+	st := space.Stats()
+	s.runlog.add(RunRecord{
+		ID: runID, Engine: "live", Query: truncate(req.Query, 512), Exec: exec,
+		Start: start, ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
+		Outcome: outcome, Reason: reason, Error: errMsg,
+		Results: sink.n,
+	}, nil)
+	s.logger.Info("subscription",
+		"id", runID, "outcome", outcome, "results", sink.n,
+		"retractions", sink.retr, "changesApplied", applied,
+		"comparisons", st.Comparisons,
+		"elapsedMs", float64(elapsed.Microseconds())/1000)
+}

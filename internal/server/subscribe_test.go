@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"progxe/internal/feed"
+)
+
+// subStream is one open /v1/subscribe connection with its records pumped
+// onto a channel, so tests can wait on specific records under a deadline
+// instead of blocking on reads.
+type subStream struct {
+	resp  *http.Response
+	lines chan map[string]any
+}
+
+func openSubscribe(t *testing.T, ts *httptest.Server, req QueryRequest) *subStream {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/subscribe", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var e errorRecord
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("subscribe: status %d (%+v)", resp.StatusCode, e)
+	}
+	s := &subStream{resp: resp, lines: make(chan map[string]any, 1024)}
+	t.Cleanup(func() { resp.Body.Close() })
+	go func() {
+		defer close(s.lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var m map[string]any
+			if json.Unmarshal(line, &m) == nil {
+				s.lines <- m
+			}
+		}
+	}()
+	return s
+}
+
+// next returns the stream's next record, or nil on EOF; it fails the test
+// rather than hanging when nothing arrives.
+func (s *subStream) next(t *testing.T) map[string]any {
+	t.Helper()
+	select {
+	case m, ok := <-s.lines:
+		if !ok {
+			return nil
+		}
+		return m
+	case <-time.After(15 * time.Second):
+		t.Fatalf("timed out waiting for a subscription record")
+		return nil
+	}
+}
+
+type pair struct{ l, r int64 }
+
+// drainTo reads records into the net result set until a checkpoint at or
+// past seq arrives, returning that checkpoint.
+func (s *subStream) drainTo(t *testing.T, seq uint64, net map[pair]bool) map[string]any {
+	t.Helper()
+	for {
+		rec := s.next(t)
+		if rec == nil {
+			t.Fatalf("stream ended before checkpoint %d", seq)
+		}
+		switch rec["type"] {
+		case "result":
+			net[pair{int64(rec["leftId"].(float64)), int64(rec["rightId"].(float64))}] = true
+		case "retract":
+			delete(net, pair{int64(rec["leftId"].(float64)), int64(rec["rightId"].(float64))})
+		case "checkpoint":
+			if uint64(rec["seq"].(float64)) >= seq {
+				return rec
+			}
+		case "error":
+			t.Fatalf("stream errored before checkpoint %d: %v", seq, rec)
+		}
+	}
+}
+
+// postChanges applies a batch of changes through the feed endpoint.
+func postChanges(t *testing.T, ts *httptest.Server, name string, changes []feed.Change) ChangesResponse {
+	t.Helper()
+	var body bytes.Buffer
+	for _, c := range changes {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body.Write(b)
+		body.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/v1/relations/"+name+"/changes", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorRecord
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("changes: status %d (%+v)", resp.StatusCode, e)
+	}
+	var cr ChangesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr
+}
+
+// queryPairs runs a fresh one-shot query and returns its result-pair set —
+// the oracle a live subscription's net set is compared against.
+func queryPairs(t *testing.T, ts *httptest.Server, q string) map[pair]bool {
+	t.Helper()
+	resp := postQuery(t, ts, QueryRequest{Query: q, Engine: "progxe"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oracle query: status %d", resp.StatusCode)
+	}
+	recs := decodeNDJSON(t, resp.Body)
+	last := recs[len(recs)-1]
+	if last["type"] != "stats" || last["error"] != nil {
+		t.Fatalf("oracle stats trailer = %v", last)
+	}
+	out := map[pair]bool{}
+	for _, rec := range recs[1 : len(recs)-1] {
+		out[pair{int64(rec["leftId"].(float64)), int64(rec["rightId"].(float64))}] = true
+	}
+	return out
+}
+
+// TestSubscribeDifferential is the tentpole's end-to-end pin: a live
+// subscription's net result set — initial snapshot plus every result/retract
+// up to a checkpoint — must equal a fresh engine run over the then-current
+// catalog snapshot, after every prefix of a randomized insert/delete stream.
+func TestSubscribeDifferential(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sub := openSubscribe(t, ts, QueryRequest{Query: tinyQuery})
+
+	run := sub.next(t)
+	if run["type"] != "run" || run["engine"] != "live" {
+		t.Fatalf("head record = %v", run)
+	}
+	if ex := execObj(t, run); ex["workers"] != nil {
+		t.Fatalf("live run granted workers: %v", ex)
+	}
+
+	net := map[pair]bool{}
+	cp := sub.drainTo(t, 0, net) // snapshot checkpoint: seq = max side version
+	if want := queryPairs(t, ts, tinyQuery); len(net) != len(want) {
+		t.Fatalf("snapshot net set has %d pairs, oracle %d", len(net), len(want))
+	}
+	_ = cp
+
+	// Mirror of the catalog contents, for generating valid deletes.
+	ids := map[string][]int64{"L": {1, 2, 3}, "R": {1, 2, 3}}
+	rng := rand.New(rand.NewPCG(42, 7))
+	nextID := int64(100)
+
+	for round := 0; round < 12; round++ {
+		rel := []string{"L", "R"}[rng.IntN(2)]
+		var batch []feed.Change
+		for n := 1 + rng.IntN(3); n > 0; n-- {
+			if rng.Float64() < 0.4 && len(ids[rel]) > 1 {
+				i := rng.IntN(len(ids[rel]))
+				batch = append(batch, feed.Change{Relation: rel, Op: feed.OpDelete, ID: ids[rel][i]})
+				ids[rel] = append(ids[rel][:i], ids[rel][i+1:]...)
+			} else {
+				c := feed.Change{
+					Relation: rel, Op: feed.OpInsert, ID: nextID,
+					Vals:    []float64{float64(rng.IntN(25)), float64(rng.IntN(10))},
+					JoinKey: int64(1 + rng.IntN(2)),
+				}
+				nextID++
+				batch = append(batch, c)
+				ids[rel] = append(ids[rel], c.ID)
+			}
+		}
+		cr := postChanges(t, ts, rel, batch)
+		if cr.Applied != len(batch) {
+			t.Fatalf("round %d: applied %d of %d changes", round, cr.Applied, len(batch))
+		}
+		cp := sub.drainTo(t, cr.LastSeq, net)
+		if live := int(cp["live"].(float64)); live != len(net) {
+			t.Fatalf("round %d: checkpoint live=%d, client net set %d", round, live, len(net))
+		}
+		want := queryPairs(t, ts, tinyQuery)
+		if len(want) != len(net) {
+			t.Fatalf("round %d: net set %v, oracle %v", round, net, want)
+		}
+		for p := range want {
+			if !net[p] {
+				t.Fatalf("round %d: oracle pair %v missing from net set", round, p)
+			}
+		}
+	}
+}
+
+// TestSubscribeRelationDropTerminates pins the catalog-mutation race: a
+// DELETE of a subscribed relation must terminate the stream with a
+// relation_dropped error record — not hang it, and not leave it serving a
+// stale snapshot.
+func TestSubscribeRelationDropTerminates(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	sub := openSubscribe(t, ts, QueryRequest{Query: tinyQuery})
+	net := map[pair]bool{}
+	if run := sub.next(t); run["type"] != "run" {
+		t.Fatalf("head record = %v", run)
+	}
+	sub.drainTo(t, 0, net)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/relations/R", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+
+	for {
+		rec := sub.next(t)
+		if rec == nil {
+			t.Fatalf("stream ended without a terminal error record")
+		}
+		if rec["type"] != "error" {
+			continue
+		}
+		if rec["code"] != errRelationDropped || rec["message"] == "" {
+			t.Fatalf("terminal record = %v, want code relation_dropped", rec)
+		}
+		break
+	}
+	if rec := sub.next(t); rec != nil {
+		t.Fatalf("stream kept going after the terminal error: %v", rec)
+	}
+	// The run log records the subscription as failed, with the live engine.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs := srv.runlog.list()
+		if len(recs) > 0 && recs[0].Engine == "live" && recs[0].Outcome == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no failed live run record: %+v", recs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubscribeSurvivesUnrelatedMutations pins the other half of the race:
+// catalog version bumps on relations the subscription does not read must not
+// evict its resident state or terminate it — and a wholesale replacement of
+// a subscribed relation must.
+func TestSubscribeSurvivesUnrelatedMutations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sub := openSubscribe(t, ts, QueryRequest{Query: tinyQuery})
+	net := map[pair]bool{}
+	if run := sub.next(t); run["type"] != "run" {
+		t.Fatalf("head record = %v", run)
+	}
+	sub.drainTo(t, 0, net)
+
+	// Register and then replace an unrelated relation: two version bumps,
+	// one replaced event — none of it for L or R.
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/relations/X",
+			bytes.NewReader([]byte(tinyLeftCSV)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload X: status %d", resp.StatusCode)
+		}
+	}
+
+	// The subscription must still be live and still maintaining: an insert
+	// into L flows through to a checkpoint, proving the resident state was
+	// not evicted by the unrelated version bumps.
+	cr := postChanges(t, ts, "L", []feed.Change{
+		{Relation: "L", Op: feed.OpInsert, ID: 500, Vals: []float64{1, 1}, JoinKey: 1},
+	})
+	sub.drainTo(t, cr.LastSeq, net)
+	if want := queryPairs(t, ts, tinyQuery); len(want) != len(net) {
+		t.Fatalf("after unrelated mutations: net set %d pairs, oracle %d", len(net), len(want))
+	}
+
+	// Replacing a subscribed relation wholesale diverges the snapshot beyond
+	// incremental repair: the stream must terminate with relation_replaced.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/relations/L",
+		bytes.NewReader([]byte(tinyLeftCSV)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for {
+		rec := sub.next(t)
+		if rec == nil {
+			t.Fatalf("stream ended without a terminal error record")
+		}
+		if rec["type"] == "error" {
+			if rec["code"] != errRelationReplaced {
+				t.Fatalf("terminal record = %v, want code relation_replaced", rec)
+			}
+			break
+		}
+	}
+}
+
+// TestSubscribeValidation covers the subscribe-specific reject paths and the
+// feed endpoint's error mapping.
+func TestSubscribeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post := func(req QueryRequest) (int, errorRecord) {
+		t.Helper()
+		b, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/subscribe", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e errorRecord
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e
+	}
+	for _, c := range []struct {
+		name string
+		req  QueryRequest
+		code string
+	}{
+		{"trace", QueryRequest{Query: tinyQuery, Trace: true}, errBadRequest},
+		{"limit", QueryRequest{Query: tinyQuery, Limit: 5}, errBadRequest},
+		{"engine", QueryRequest{Query: tinyQuery, Engine: "progxe"}, errUnknownEngine},
+		{"missing relation", QueryRequest{Query: `SELECT (A.x + B.y) AS s FROM Nope A, R B WHERE A.k = B.k PREFERRING LOWEST(s)`}, errRelationNotFound},
+	} {
+		status, e := post(c.req)
+		if status/100 != 4 || e.Code != c.code {
+			t.Fatalf("%s: status %d code %q, want 4xx %q", c.name, status, e.Code, c.code)
+		}
+	}
+
+	// Feed endpoint validation: bad line, wrong relation, unknown id.
+	for _, c := range []struct {
+		name, body, code string
+		status           int
+	}{
+		{"bad line", "nonsense\n", errBadChange, http.StatusBadRequest},
+		{"wrong relation", `{"op":"insert","relation":"R","id":9,"vals":[1,2],"joinKey":1}` + "\n", errBadChange, http.StatusBadRequest},
+		{"unknown id", `{"op":"delete","id":999}` + "\n", errBadChange, http.StatusBadRequest},
+		{"unknown relation", "", errRelationNotFound, http.StatusNotFound},
+	} {
+		path := "/v1/relations/L/changes"
+		body := c.body
+		if c.name == "unknown relation" {
+			path = "/v1/relations/Nope/changes"
+			body = `{"op":"insert","id":1,"vals":[1,2],"joinKey":1}` + "\n"
+		}
+		resp, err := http.Post(ts.URL+path, "application/x-ndjson", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorRecord
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != c.status || e.Type != "error" || e.Code != c.code {
+			t.Fatalf("%s: status %d envelope %+v, want %d %q", c.name, resp.StatusCode, e, c.status, c.code)
+		}
+	}
+}
+
+// TestSubscribeMetrics checks the subscription counters move: live gauges up
+// while attached and down after detach, changes and retractions accumulate.
+func TestSubscribeMetrics(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	sub := openSubscribe(t, ts, QueryRequest{Query: tinyQuery})
+	net := map[pair]bool{}
+	if run := sub.next(t); run["type"] != "run" {
+		t.Fatalf("head record = %v", run)
+	}
+	sub.drainTo(t, 0, net)
+	if st := srv.Stats(); st.SubscriptionsLive != 1 || st.SubscriptionsStarted != 1 {
+		t.Fatalf("live=%d started=%d, want 1/1", st.SubscriptionsLive, st.SubscriptionsStarted)
+	}
+
+	// A dominating insert retracts everything it beats.
+	cr := postChanges(t, ts, "L", []feed.Change{
+		{Relation: "L", Op: feed.OpInsert, ID: 900, Vals: []float64{0, 0}, JoinKey: 1},
+	})
+	sub.drainTo(t, cr.LastSeq, net)
+
+	sub.resp.Body.Close() // client detaches
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.SubscriptionsLive == 0 {
+			if st.SubscriptionChangesApplied < 1 {
+				t.Fatalf("changesApplied = %d, want >= 1", st.SubscriptionChangesApplied)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription never detached: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -20,6 +20,12 @@ type (
 	// ServerStats is a point-in-time snapshot of the service counters,
 	// including the time-to-first-result histogram.
 	ServerStats = server.Snapshot
+	// ExecOptions mirrors the wire "exec" object shared by /v1/query and
+	// /v1/subscribe: the run-shaping knobs (workers, committers, speculate,
+	// ranker) under one name. Embedders constructing QueryRequest bodies
+	// programmatically should prefer it over the legacy flat fields; a
+	// request carrying both spellings is rejected with exec_conflict.
+	ExecOptions = server.ExecRequest
 )
 
 // NewServer builds the progressive query service. Mount it on any mux or
